@@ -1,0 +1,29 @@
+//! Dense tiled Cholesky factorization (paper §III-B, Figs. 1, 5, 6).
+//!
+//! Implementations:
+//! * [`ttg`] — the TTG flowgraph of Fig. 1 (POTRF/TRSM/SYRK/GEMM +
+//!   INITIATOR/RESULT), runnable on either backend;
+//! * [`dplasma`] — DPLASMA-like comparator: the same DAG driven directly
+//!   through the PTG interface of the PaRSEC-like backend;
+//! * [`bulksync`] — ScaLAPACK-like and SLATE-like bulk-synchronous
+//!   comparators (right-looking panel factorization without lookahead) and
+//!   a Chameleon-like task-based trace with a heavier communication path.
+
+pub mod bulksync;
+pub mod dplasma;
+pub mod ttg;
+
+use ttg_linalg::TiledMatrix;
+
+/// Verify a factor against the original matrix; returns the max-norm
+/// residual `‖A − L·Lᵀ‖_max`.
+pub fn residual(a: &TiledMatrix, l: &TiledMatrix) -> f64 {
+    TiledMatrix::cholesky_residual(a, l)
+}
+
+/// Total flops of a tiled Cholesky on an `nt × nt` grid of `nb²` tiles
+/// (`n³/3` to leading order).
+pub fn total_flops(nt: usize, nb: usize) -> u64 {
+    let n = (nt * nb) as u64;
+    n * n * n / 3
+}

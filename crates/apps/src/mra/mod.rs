@@ -1,0 +1,110 @@
+//! Adaptive multi-resolution analysis (paper §III-E, Figs. 13a/13b).
+//!
+//! The benchmark builds the order-`k` multiwavelet representation of N
+//! 3-D Gaussians (adaptive projection), then compresses (fast wavelet
+//! transform, data flows **up** the tree), reconstructs (down the tree),
+//! and computes the norm for verification.
+//!
+//! * [`ttg`] — barrier-free streaming implementation: all trees flow
+//!   through one template graph concurrently; the compress stage uses a
+//!   streaming terminal with stream size 2³ = 8 (paper Listing 3);
+//! * [`native`] — "native MADNESS" comparator on the [`ttg_madness::world`]
+//!   runtime: same numerics with a global fence after every computational
+//!   step (projection, compression, reconstruction, norm).
+
+pub mod native;
+pub mod ttg;
+
+use ttg_mra::{Gaussian3, Mra3};
+
+/// Workload of one benchmark run.
+#[derive(Clone)]
+pub struct Workload {
+    /// Basis order (paper: 10).
+    pub k: usize,
+    /// The functions to process (one adaptive tree each).
+    pub functions: Vec<Vec<Gaussian3>>,
+    /// Truncation threshold.
+    pub tol: f64,
+    /// Maximum refinement depth.
+    pub max_depth: u8,
+}
+
+impl Workload {
+    /// Paper-style workload: `n` single-Gaussian functions with random
+    /// clustered centers (load imbalance included), scaled-down exponent.
+    pub fn gaussians(n: usize, k: usize, expnt: f64, tol: f64, seed: u64) -> Self {
+        Workload {
+            k,
+            functions: ttg_mra::random_gaussians(n, expnt, seed)
+                .into_iter()
+                .map(|g| vec![g])
+                .collect(),
+            tol,
+            max_depth: 10,
+        }
+    }
+}
+
+/// Reference results computed serially for verification.
+pub struct Reference {
+    /// Per-function L² norm.
+    pub norms: Vec<f64>,
+    /// Per-function leaf count (tree size).
+    pub leaves: Vec<usize>,
+}
+
+/// Serial reference pass over the workload.
+pub fn reference(w: &Workload) -> Reference {
+    let mra = Mra3::new(w.k);
+    let mut norms = Vec::new();
+    let mut leaves_count = Vec::new();
+    for f in &w.functions {
+        let leaves = mra.project_adaptive(f, w.tol, w.max_depth);
+        let (root, details) = mra.compress(&leaves);
+        let rec = mra.reconstruct(&root, &details);
+        assert_eq!(rec.len(), leaves.len());
+        norms.push(Mra3::norm_leaves(&leaves));
+        leaves_count.push(leaves.len());
+    }
+    Reference {
+        norms,
+        leaves: leaves_count,
+    }
+}
+
+/// Modelled cost of the per-node numerical kernels (ns), order-k basis.
+pub fn node_cost_ns(k: usize) -> u64 {
+    // Tensor transform: 3 modes × (2k)³ × 2k multiply-adds.
+    let n = 2 * k as u64;
+    crate::cost::ns_for_flops(2 * 3 * n * n * n * n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_norms_close_to_analytic() {
+        // One centered Gaussian: ‖f‖₂ = (π/(2a))^{3/4} for a well inside
+        // the cube.
+        let w = Workload {
+            k: 8,
+            functions: vec![vec![Gaussian3 {
+                coeff: 1.0,
+                center: [0.5, 0.5, 0.5],
+                expnt: 500.0,
+            }]],
+            tol: 1e-7,
+            max_depth: 10,
+        };
+        let r = reference(&w);
+        let analytic = (std::f64::consts::PI / 1000.0).powf(0.75);
+        assert!(
+            (r.norms[0] - analytic).abs() < 1e-4,
+            "{} vs {analytic}",
+            r.norms[0]
+        );
+        assert!(r.leaves[0] >= 8);
+    }
+}

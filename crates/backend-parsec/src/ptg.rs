@@ -1,0 +1,401 @@
+//! A minimal Parameterized Task Graph (PTG) interface.
+//!
+//! PTG is PaRSEC's native programming model and the direct ancestor of TTG
+//! (paper §I: "this idea builds on the concept of the Parameterized Task
+//! Graph"). Computation is organized into **task classes** parameterized by
+//! a key; the number of inputs of each task instance is known algebraically
+//! from its key, so activation is a simple countdown rather than TTG's
+//! slot-matching. The DPLASMA-like dense-linear-algebra comparators are
+//! written against this interface.
+//!
+//! The runtime reuses the shared substrate: the simulated fabric for
+//! inter-rank active messages and the work-stealing worker pools.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use ttg_comm::{Fabric, Packet, ReadBuf, StatsSnapshot, WriteBuf};
+use ttg_core::trace::{Dep, TaskEvent, TraceRecorder};
+use ttg_core::types::{Data, Key};
+use ttg_runtime::{Quiescence, SchedulerKind, WorkerPool};
+
+/// Context handed to PTG task bodies for emitting downstream data.
+pub struct PtgCtx<'a, K: Key, V: Data> {
+    rt: &'a Arc<RtInner<K, V>>,
+    rank: usize,
+    task_id: u64,
+}
+
+impl<'a, K: Key, V: Data> PtgCtx<'a, K, V> {
+    /// Send `v` as one input of task `key` of `class`.
+    pub fn send(&self, class: usize, key: K, v: V) {
+        self.rt.deliver(class, key, v, self.task_id, self.rank);
+    }
+
+    /// Rank executing the current task.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.rt.fabric.num_ranks()
+    }
+}
+
+type BodyFn<K, V> = Arc<dyn Fn(&K, Vec<V>, &PtgCtx<'_, K, V>) + Send + Sync>;
+
+/// A task class: a family of tasks indexed by `K`.
+pub struct TaskClass<K: Key, V: Data> {
+    /// Class name (traces).
+    pub name: &'static str,
+    /// Number of inputs task `k` waits for (known algebraically).
+    pub n_deps: Arc<dyn Fn(&K) -> usize + Send + Sync>,
+    /// Rank owning task `k`.
+    pub owner: Arc<dyn Fn(&K) -> usize + Send + Sync>,
+    /// Task priority (native PaRSEC priority support).
+    pub priority: Arc<dyn Fn(&K) -> i32 + Send + Sync>,
+    /// Modelled cost (ns) of task `k`, for trace projection.
+    pub cost: Arc<dyn Fn(&K) -> u64 + Send + Sync>,
+    /// Task body.
+    pub body: BodyFn<K, V>,
+}
+
+struct PendingCnt<V> {
+    vals: Vec<V>,
+    deps: Vec<Dep>,
+}
+
+struct RtInner<K: Key, V: Data> {
+    classes: Vec<TaskClass<K, V>>,
+    // Per (class, rank) activation tables.
+    tables: Vec<Vec<Mutex<HashMap<K, PendingCnt<V>>>>>,
+    fabric: Arc<Fabric>,
+    pools: Vec<WorkerPool>,
+    quiescence: Arc<Quiescence>,
+    trace: Option<TraceRecorder>,
+    next_task: AtomicU64,
+    tasks_run: AtomicU64,
+}
+
+impl<K: Key, V: Data> RtInner<K, V> {
+    fn deliver(self: &Arc<Self>, class: usize, key: K, v: V, from_task: u64, src_rank: usize) {
+        let owner = (self.classes[class].owner)(&key) % self.fabric.num_ranks();
+        if owner == src_rank {
+            self.insert(
+                class,
+                owner,
+                key,
+                v,
+                Dep {
+                    from_task,
+                    bytes: 0,
+                    src_rank,
+                    msg: 0,
+                },
+            );
+        } else {
+            let mut b = WriteBuf::new();
+            b.put_u64(from_task);
+            b.put_u32(class as u32);
+            key.encode(&mut b);
+            v.encode(&mut b);
+            self.fabric.count_serialization();
+            self.fabric.send_am(src_rank, owner, class as u32, b.into_vec());
+        }
+    }
+
+    fn insert(self: &Arc<Self>, class: usize, rank: usize, key: K, v: V, dep: Dep) {
+        let ready = {
+            let mut table = self.tables[class][rank].lock();
+            let entry = table.entry(key.clone()).or_insert_with(|| PendingCnt {
+                vals: Vec::new(),
+                deps: Vec::new(),
+            });
+            entry.vals.push(v);
+            entry.deps.push(dep);
+            let need = (self.classes[class].n_deps)(&key);
+            assert!(
+                entry.vals.len() <= need,
+                "PTG class {} key {:?}: more inputs than n_deps={}",
+                self.classes[class].name,
+                key,
+                need
+            );
+            if entry.vals.len() == need {
+                Some(table.remove(&key).unwrap())
+            } else {
+                None
+            }
+        };
+        if let Some(entry) = ready {
+            self.launch(class, rank, key, entry);
+        }
+    }
+
+    fn launch(self: &Arc<Self>, class: usize, rank: usize, key: K, entry: PendingCnt<V>) {
+        let rt = Arc::clone(self);
+        let task_id = self.next_task.fetch_add(1, Ordering::Relaxed);
+        let prio = (self.classes[class].priority)(&key);
+        self.pools[rank].submit(ttg_runtime::Job::with_priority(prio, move || {
+            let ctx = PtgCtx {
+                rt: &rt,
+                rank,
+                task_id,
+            };
+            let t0 = Instant::now();
+            (rt.classes[class].body)(&key, entry.vals, &ctx);
+            let measured = t0.elapsed().as_nanos() as u64;
+            rt.tasks_run.fetch_add(1, Ordering::Relaxed);
+            if let Some(tr) = &rt.trace {
+                tr.record(TaskEvent {
+                    id: task_id,
+                    node: class as u32,
+                    name: rt.classes[class].name,
+                    rank,
+                    priority: prio,
+                    cost_ns: {
+                        let c = (rt.classes[class].cost)(&key);
+                        if c == 0 {
+                            measured
+                        } else {
+                            c
+                        }
+                    },
+                    deps: entry.deps,
+                });
+            }
+        }));
+    }
+}
+
+/// Report of a PTG execution.
+#[derive(Debug)]
+pub struct PtgReport {
+    /// Wall-clock time to quiescence.
+    pub elapsed: Duration,
+    /// Fabric counters.
+    pub comm: StatsSnapshot,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Trace (when enabled).
+    pub trace: Option<Vec<TaskEvent>>,
+}
+
+/// A running PTG program.
+pub struct PtgRuntime<K: Key, V: Data> {
+    inner: Arc<RtInner<K, V>>,
+    comm_threads: Vec<std::thread::JoinHandle<()>>,
+    started: Instant,
+}
+
+impl<K: Key, V: Data> PtgRuntime<K, V> {
+    /// Launch `classes` over `ranks × workers` with optional tracing.
+    pub fn new(classes: Vec<TaskClass<K, V>>, ranks: usize, workers: usize, trace: bool) -> Self {
+        let fabric = Fabric::new(ranks);
+        let quiescence = Arc::new(Quiescence::new());
+        let pools = (0..ranks)
+            .map(|r| {
+                WorkerPool::new(
+                    workers,
+                    SchedulerKind::WorkStealing,
+                    Arc::clone(&quiescence),
+                    &format!("ptg{r}"),
+                )
+            })
+            .collect();
+        let tables = classes
+            .iter()
+            .map(|_| (0..ranks).map(|_| Mutex::new(HashMap::new())).collect())
+            .collect();
+        let inner = Arc::new(RtInner {
+            classes,
+            tables,
+            fabric: Arc::clone(&fabric),
+            pools,
+            quiescence,
+            trace: if trace {
+                Some(TraceRecorder::new())
+            } else {
+                None
+            },
+            next_task: AtomicU64::new(1),
+            tasks_run: AtomicU64::new(0),
+        });
+
+        let mut comm_threads = Vec::with_capacity(ranks);
+        for r in 0..ranks {
+            let rx = fabric.take_receiver(r);
+            let rt = Arc::clone(&inner);
+            comm_threads.push(std::thread::spawn(move || {
+                while let Ok(pkt) = rx.recv() {
+                    match pkt {
+                        Packet::Am {
+                            handler: _,
+                            from,
+                            payload,
+                        } => {
+                            let mut rd = ReadBuf::new(&payload);
+                            let from_task = rd.get_u64().expect("ptg am header");
+                            let class = rd.get_u32().expect("ptg am class") as usize;
+                            let key = K::decode(&mut rd).expect("ptg am key");
+                            let bytes = rd.remaining() as u64;
+                            let v = V::decode(&mut rd).expect("ptg am value");
+                            rt.insert(
+                                class,
+                                r,
+                                key,
+                                v,
+                                Dep {
+                                    from_task,
+                                    bytes,
+                                    src_rank: from,
+                                    msg: 0,
+                                },
+                            );
+                            rt.fabric.packet_processed();
+                        }
+                        Packet::Shutdown => break,
+                    }
+                }
+            }));
+        }
+
+        PtgRuntime {
+            inner,
+            comm_threads,
+            started: Instant::now(),
+        }
+    }
+
+    /// Inject an input for task `key` of `class` (external seed).
+    pub fn seed(&self, class: usize, key: K, v: V) {
+        let owner = (self.inner.classes[class].owner)(&key) % self.inner.fabric.num_ranks();
+        self.inner.insert(
+            class,
+            owner,
+            key,
+            v,
+            Dep {
+                from_task: 0,
+                bytes: 0,
+                src_rank: owner,
+                msg: 0,
+            },
+        );
+    }
+
+    /// Wait for quiescence, shut down, and report.
+    pub fn finish(self) -> PtgReport {
+        loop {
+            if self.inner.fabric.packets_in_flight() == 0
+                && self.inner.quiescence.is_quiescent()
+                && self.inner.fabric.packets_in_flight() == 0
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        let elapsed = self.started.elapsed();
+        self.inner.fabric.shutdown_all();
+        for t in self.comm_threads {
+            t.join().expect("ptg comm thread panicked");
+        }
+        for p in &self.inner.pools {
+            p.shutdown();
+        }
+        PtgReport {
+            elapsed,
+            comm: self.inner.fabric.stats().snapshot(),
+            tasks: self.inner.tasks_run.load(Ordering::Relaxed),
+            trace: self.inner.trace.as_ref().map(|t| t.take()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib_classes(sink: Arc<Mutex<Vec<(u64, i64)>>>) -> Vec<TaskClass<u64, i64>> {
+        // Class 0: chain task k consumes one value, forwards k+1 until 10.
+        let chain = TaskClass {
+            name: "chain",
+            n_deps: Arc::new(|_| 1),
+            owner: Arc::new(|k: &u64| *k as usize),
+            priority: Arc::new(|_| 0),
+            cost: Arc::new(|_| 0),
+            body: Arc::new(move |k, vals, ctx: &PtgCtx<'_, u64, i64>| {
+                let v = vals[0] + 1;
+                if *k < 10 {
+                    ctx.send(0, k + 1, v);
+                } else {
+                    ctx.send(1, 0, v);
+                }
+            }),
+        };
+        let done = TaskClass {
+            name: "done",
+            n_deps: Arc::new(|_| 1),
+            owner: Arc::new(|_| 0),
+            priority: Arc::new(|_| 0),
+            cost: Arc::new(|_| 0),
+            body: Arc::new(move |k, vals, _ctx: &PtgCtx<'_, u64, i64>| {
+                sink.lock().push((*k, vals[0]));
+            }),
+        };
+        vec![chain, done]
+    }
+
+    #[test]
+    fn chain_runs_across_ranks() {
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let rt = PtgRuntime::new(fib_classes(Arc::clone(&sink)), 3, 2, false);
+        rt.seed(0, 0, 100);
+        let report = rt.finish();
+        assert_eq!(report.tasks, 12); // 11 chain tasks + 1 done
+        assert_eq!(*sink.lock(), vec![(0, 111)]);
+        assert!(report.comm.am_count > 0); // chain hops cross ranks
+    }
+
+    #[test]
+    fn multi_dep_join() {
+        // Class 0 tasks send into one class-1 task that needs 4 inputs.
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let sink2 = Arc::clone(&sink);
+        let producer = TaskClass {
+            name: "produce",
+            n_deps: Arc::new(|_| 1),
+            owner: Arc::new(|k: &u64| *k as usize),
+            priority: Arc::new(|_| 0),
+            cost: Arc::new(|_| 0),
+            body: Arc::new(|k, vals: Vec<i64>, ctx: &PtgCtx<'_, u64, i64>| {
+                ctx.send(1, 99, vals[0] * (*k as i64 + 1));
+            }),
+        };
+        let join = TaskClass {
+            name: "join",
+            n_deps: Arc::new(|_| 4),
+            owner: Arc::new(|_| 1),
+            priority: Arc::new(|_| 0),
+            cost: Arc::new(|_| 0),
+            body: Arc::new(move |_k, vals: Vec<i64>, _ctx: &PtgCtx<'_, u64, i64>| {
+                sink2.lock().push(vals.iter().sum::<i64>());
+            }),
+        };
+        let rt = PtgRuntime::new(vec![producer, join], 2, 2, true);
+        for k in 0..4u64 {
+            rt.seed(0, k, 10);
+        }
+        let report = rt.finish();
+        assert_eq!(report.tasks, 5);
+        assert_eq!(*sink.lock(), vec![10 + 20 + 30 + 40]);
+        let trace = report.trace.unwrap();
+        assert_eq!(trace.len(), 5);
+        let join_ev = trace.iter().find(|e| e.name == "join").unwrap();
+        assert_eq!(join_ev.deps.len(), 4);
+    }
+}

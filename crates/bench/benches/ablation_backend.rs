@@ -1,0 +1,53 @@
+//! Ablation: the identical TTG Cholesky graph on the PaRSEC-like vs the
+//! MADNESS-like backend ("the backend can sometimes have substantial
+//! impact on the performance", paper §II-D). Wall-clock at laptop scale
+//! plus the structural copy counters.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttg_apps::cholesky::ttg as chol;
+use ttg_linalg::TiledMatrix;
+
+fn run(backend: ttg_core::BackendSpec) -> u64 {
+    let a = TiledMatrix::random_spd(6, 24, 77);
+    let cfg = chol::Config {
+        ranks: 2,
+        workers: 2,
+        backend,
+        trace: false,
+        priorities: true,
+    };
+    let (_l, report) = chol::run(&a, &cfg);
+    report.comm.data_copies
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_cholesky");
+    group.bench_with_input(BenchmarkId::new("parsec", 6), &(), |b, _| {
+        b.iter(|| run(ttg_parsec::backend()));
+    });
+    group.bench_with_input(BenchmarkId::new("madness", 6), &(), |b, _| {
+        b.iter(|| run(ttg_madness::backend()));
+    });
+    group.finish();
+
+    let copies_parsec = run(ttg_parsec::backend());
+    let copies_madness = run(ttg_madness::backend());
+    eprintln!("deep data copies: parsec={copies_parsec}, madness={copies_madness}");
+    assert!(copies_parsec <= copies_madness);
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(2000))
+        .warm_up_time(Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

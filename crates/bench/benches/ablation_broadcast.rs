@@ -1,0 +1,80 @@
+//! Ablation: optimized broadcast (serialize once per destination rank,
+//! paper §II-A) vs. the naive per-key path. Measures a fan-out graph where
+//! one task broadcasts a tile to many tasks spread over several ranks.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttg_core::prelude::*;
+use ttg_linalg::Tile;
+
+fn run_broadcast(optimized: bool, keys: u32, ranks: usize) -> u64 {
+    let mut backend = ttg_parsec::backend();
+    backend.optimized_broadcast = optimized;
+    // Inline serialization path (not splitmd) to isolate the effect.
+    backend.supports_splitmd = false;
+
+    let start: Edge<u32, Tile> = Edge::new("start");
+    let fan: Edge<u32, Tile> = Edge::new("fan");
+    let mut g = GraphBuilder::new();
+    let src = g.make_tt(
+        "src",
+        (start,),
+        (fan.clone(),),
+        |_| 0usize,
+        move |_, (t,): (Tile,), outs| {
+            let ks: Vec<u32> = (0..keys).collect();
+            outs.broadcast::<0>(&ks, t);
+        },
+    );
+    let _dst = g.make_tt(
+        "dst",
+        (fan,),
+        (),
+        move |k: &u32| (*k as usize) % ranks,
+        |_, (t,): (Tile,), _| {
+            assert!(t.rows() > 0);
+        },
+    );
+    let exec = Executor::new(g.build(), ExecConfig::distributed(ranks, 1, backend));
+    src.in_ref::<0>().seed(exec.ctx(), 0, Tile::zeros(64, 64));
+    let report = exec.finish();
+    report.comm.serializations
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast");
+    for &(keys, ranks) in &[(16u32, 4usize), (64, 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("optimized", format!("{keys}k_{ranks}r")),
+            &(),
+            |b, _| b.iter(|| run_broadcast(true, keys, ranks)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("{keys}k_{ranks}r")),
+            &(),
+            |b, _| b.iter(|| run_broadcast(false, keys, ranks)),
+        );
+    }
+    group.finish();
+
+    // Also report the serialization counts once (the structural effect).
+    let opt = run_broadcast(true, 64, 8);
+    let naive = run_broadcast(false, 64, 8);
+    eprintln!("serializations for 64 keys over 8 ranks: optimized={opt}, naive={naive}");
+    assert!(opt < naive);
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation: task priorities on the Cholesky critical path (paper §II:
+//! "the ability to assign priorities to tasks"). Compares the projected
+//! makespan of traces recorded with the priority map enabled vs disabled:
+//! prioritized panel tasks shorten the critical path when workers are
+//! scarce.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttg_apps::cholesky::ttg as chol;
+use ttg_linalg::TiledMatrix;
+
+fn run(priorities: bool) -> u64 {
+    let a = TiledMatrix::random_spd(8, 16, 13);
+    let cfg = chol::Config {
+        ranks: 2,
+        workers: 2,
+        backend: ttg_parsec::backend(),
+        trace: false,
+        priorities,
+    };
+    let (_l, report) = chol::run(&a, &cfg);
+    report.elapsed.as_nanos() as u64
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("priorities_cholesky");
+    group.bench_with_input(BenchmarkId::new("with_priorities", 8), &(), |b, _| {
+        b.iter(|| run(true));
+    });
+    group.bench_with_input(BenchmarkId::new("without_priorities", 8), &(), |b, _| {
+        b.iter(|| run(false));
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(2000))
+        .warm_up_time(Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation of the three wire protocols (paper §II-C): trivial/archive
+//! inline encoding vs. the two-stage split-metadata RMA path, measured on
+//! a rank-to-rank tile transfer.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttg_comm::{from_bytes, to_bytes};
+use ttg_core::prelude::*;
+use ttg_linalg::Tile;
+
+/// Pure codec round-trip (archive protocol, no runtime involved).
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for &nb in &[32usize, 128] {
+        let tile = Tile::zeros(nb, nb);
+        group.bench_with_input(BenchmarkId::new("encode", nb), &nb, |b, _| {
+            b.iter(|| to_bytes(&tile));
+        });
+        let bytes = to_bytes(&tile);
+        group.bench_with_input(BenchmarkId::new("decode", nb), &nb, |b, _| {
+            b.iter(|| from_bytes::<Tile>(&bytes).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("splitmd_payload", nb), &nb, |b, _| {
+            b.iter(|| tile.split_payload().unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Full graph transfer: one tile hops between two ranks.
+fn run_transfer(splitmd: bool, nb: usize, hops: u32) {
+    let mut backend = ttg_parsec::backend();
+    backend.supports_splitmd = splitmd;
+    let loop_e: Edge<u32, Tile> = Edge::new("loop");
+    let mut g = GraphBuilder::new();
+    let relay = g.make_tt(
+        "relay",
+        (loop_e.clone(),),
+        (loop_e.clone(),),
+        |k: &u32| (*k % 2) as usize,
+        move |k, (t,): (Tile,), outs| {
+            if *k < hops {
+                outs.send::<0>(*k + 1, t);
+            }
+        },
+    );
+    let exec = Executor::new(g.build(), ExecConfig::distributed(2, 1, backend));
+    relay.in_ref::<0>().seed(exec.ctx(), 0, Tile::zeros(nb, nb));
+    exec.finish();
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer_protocol");
+    for &nb in &[64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("splitmd", nb), &nb, |b, &nb| {
+            b.iter(|| run_transfer(true, nb, 8));
+        });
+        group.bench_with_input(BenchmarkId::new("inline", nb), &nb, |b, &nb| {
+            b.iter(|| run_transfer(false, nb, 8));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_codec, bench_transfer
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Runtime overhead micro-benchmarks: per-task cost of the TTG machinery
+//! (chain latency, fan-out throughput, matching-table pressure).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttg_core::prelude::*;
+
+/// A chain of `n` empty tasks on one rank: measures per-task overhead.
+fn chain(n: u64, ranks: usize) {
+    let loop_e: Edge<u64, u64> = Edge::new("chain");
+    let mut g = GraphBuilder::new();
+    let relay = g.make_tt(
+        "relay",
+        (loop_e.clone(),),
+        (loop_e.clone(),),
+        move |k: &u64| (*k as usize) % ranks,
+        move |k, (x,): (u64,), outs| {
+            if *k < n {
+                outs.send::<0>(*k + 1, x + 1);
+            }
+        },
+    );
+    let exec = Executor::new(
+        g.build(),
+        ExecConfig::distributed(ranks, 1, ttg_parsec::backend()),
+    );
+    relay.in_ref::<0>().seed(exec.ctx(), 0, 0);
+    let report = exec.finish();
+    assert_eq!(report.tasks, n + 1);
+}
+
+/// Wide fan-out: one task spawns `n` leaves: measures matching-table and
+/// scheduler throughput.
+fn fanout(n: u32) {
+    let start: Edge<u32, u32> = Edge::new("start");
+    let fan: Edge<u32, u32> = Edge::new("fan");
+    let mut g = GraphBuilder::new();
+    let src = g.make_tt(
+        "src",
+        (start,),
+        (fan.clone(),),
+        |_| 0usize,
+        move |_, (x,): (u32,), outs| {
+            let keys: Vec<u32> = (0..n).collect();
+            outs.broadcast::<0>(&keys, x);
+        },
+    );
+    let _leaf = g.make_tt("leaf", (fan,), (), |_| 0usize, |_, (_x,): (u32,), _| {});
+    let exec = Executor::new(g.build(), ExecConfig::local(2));
+    src.in_ref::<0>().seed(exec.ctx(), 0, 1);
+    let report = exec.finish();
+    assert_eq!(report.tasks, n as u64 + 1);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_overhead");
+    group.throughput(criterion::Throughput::Elements(1000));
+    group.bench_with_input(BenchmarkId::new("chain_local", 1000), &(), |b, _| {
+        b.iter(|| chain(1000, 1));
+    });
+    group.bench_with_input(BenchmarkId::new("chain_2ranks", 1000), &(), |b, _| {
+        b.iter(|| chain(1000, 2));
+    });
+    group.bench_with_input(BenchmarkId::new("fanout", 1000), &(), |b, _| {
+        b.iter(|| fanout(1000));
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(2000))
+        .warm_up_time(Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Figures 13a/13b: strong scaling of MRA (adaptive multiwavelet
+//! projection + compression + reconstruction + norm of 3-D Gaussians) on
+//! the Seawulf model (13a, ≤32 nodes) and Hawk model (13b, ≤64 nodes).
+//!
+//! Series: TTG/PaRSEC, TTG/MADNESS, native MADNESS. Expected shape:
+//! TTG/PaRSEC clearly ahead on both machines; TTG/MADNESS hampered by data
+//! copies and communication overhead; native MADNESS scaling capped by its
+//! per-step barriers.
+
+use ttg_apps::mra::{native, reference, ttg as mra_ttg, Workload};
+use ttg_bench::{print_table, project, project_raw, Series};
+use ttg_simnet::MachineModel;
+
+fn run_machine(
+    label: &str,
+    nodes: &[usize],
+    machine_of: impl Fn(usize) -> MachineModel,
+    w: &Workload,
+) {
+    let expect = reference(w);
+    let total_nodes: usize = expect.leaves.iter().map(|l| l + (l - 1) / 7).sum();
+    eprintln!(
+        "{label}: {} functions, {} tree nodes total",
+        w.functions.len(),
+        total_nodes
+    );
+
+    let mut s_parsec = Series::new("TTG/PaRSEC");
+    let mut s_madness = Series::new("TTG/MADNESS");
+    let mut s_native = Series::new("native MADNESS");
+
+    for &p in nodes {
+        eprintln!("{label}: {p} nodes…");
+        let machine = machine_of(p).with_cores(8);
+        for (series, backend) in [
+            (&mut s_parsec, ttg_parsec::backend()),
+            (&mut s_madness, ttg_madness::backend()),
+        ] {
+            let cfg = mra_ttg::Config {
+                ranks: p,
+                workers: 1,
+                backend: backend.clone(),
+                trace: true,
+            };
+            let res = mra_ttg::run(w, &cfg);
+            for i in 0..w.functions.len() {
+                assert!((res.norms[i] - expect.norms[i]).abs() < 1e-9);
+            }
+            let sim = project(res.report.trace.as_ref().unwrap(), machine, &backend);
+            // Rate: tree-node operations per millisecond of projected time.
+            series.push(
+                p as f64,
+                total_nodes as f64 / (sim.makespan_ns as f64 / 1e6),
+            );
+        }
+        let trace = native::run_trace(w, p);
+        let sim = project_raw(&trace, machine);
+        s_native.push(
+            p as f64,
+            total_nodes as f64 / (sim.makespan_ns as f64 / 1e6),
+        );
+    }
+
+    print_table(
+        label,
+        "nodes",
+        "tree-node ops / ms (higher is better)",
+        &[s_parsec, s_madness, s_native],
+    );
+}
+
+fn main() {
+    let w = Workload::gaussians(12, 6, 1500.0, 3e-5, 4);
+    run_machine(
+        "Fig. 13a — MRA strong scaling (Seawulf model)",
+        &[1, 2, 4, 8, 16, 32],
+        MachineModel::seawulf,
+        &w,
+    );
+    run_machine(
+        "Fig. 13b — MRA strong scaling (Hawk model)",
+        &[1, 2, 4, 8, 16, 32, 64],
+        MachineModel::hawk,
+        &w,
+    );
+}

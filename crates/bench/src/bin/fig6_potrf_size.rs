@@ -1,0 +1,83 @@
+//! Figure 6: tiled Cholesky performance vs. matrix size on a fixed node
+//! count (paper: 64 Hawk nodes, tile 512²; here: 16 model nodes, tile
+//! scaled down). Expected shape: both groups rise towards their asymptote;
+//! the task-based group reaches (a higher) practical peak at smaller
+//! matrix sizes than the bulk-synchronous group.
+
+use ttg_apps::cholesky::{self, bulksync, dplasma, ttg as chol_ttg};
+use ttg_bench::{gflops, print_table, project, project_raw, Series};
+use ttg_linalg::TiledMatrix;
+use ttg_simnet::MachineModel;
+
+const NB: usize = 48;
+const NODES: usize = 16;
+
+fn main() {
+    let sizes_nt = [4usize, 8, 12, 16, 24];
+    let machine = MachineModel::hawk(NODES);
+    let mut s_ttg_parsec = Series::new("TTG/PaRSEC");
+    let mut s_ttg_madness = Series::new("TTG/MADNESS");
+    let mut s_dplasma = Series::new("DPLASMA");
+    let mut s_chameleon = Series::new("Chameleon");
+    let mut s_slate = Series::new("SLATE");
+    let mut s_scalapack = Series::new("ScaLAPACK");
+
+    for &nt in &sizes_nt {
+        let n = nt * NB;
+        let a = TiledMatrix::random_spd(nt, NB, 6);
+        let flops = cholesky::total_flops(nt, NB);
+        eprintln!("fig6: matrix {n}² ({nt}×{nt} tiles)…");
+
+        for (series, backend) in [
+            (&mut s_ttg_parsec, ttg_parsec::backend()),
+            (&mut s_ttg_madness, ttg_madness::backend()),
+        ] {
+            let cfg = chol_ttg::Config {
+                ranks: NODES,
+                workers: 1,
+                backend: backend.clone(),
+                trace: true,
+                priorities: true,
+            };
+            let (l, report) = chol_ttg::run(&a, &cfg);
+            assert!(cholesky::residual(&a, &l) < 1e-8);
+            let sim = project(report.trace.as_ref().unwrap(), machine, &backend);
+            series.push(n as f64, gflops(flops, sim.makespan_ns));
+        }
+        {
+            let (_l, report) = dplasma::run(&a, NODES, 1, true);
+            let m = machine.with_backend_overheads(500, 150);
+            let tasks = ttg_simnet::des::from_core_trace(report.trace.as_ref().unwrap());
+            let sim = project_raw(&tasks, m);
+            s_dplasma.push(n as f64, gflops(flops, sim.makespan_ns));
+        }
+        {
+            let (_l, trace) = bulksync::run(&a, NODES, bulksync::Style::Chameleon);
+            let m = machine.with_backend_overheads(3_000, 400);
+            let sim = project_raw(&trace, m);
+            s_chameleon.push(n as f64, gflops(flops, sim.makespan_ns));
+        }
+        for (series, style) in [
+            (&mut s_slate, bulksync::Style::Slate),
+            (&mut s_scalapack, bulksync::Style::ScaLapack),
+        ] {
+            let (_l, trace) = bulksync::run(&a, NODES, style);
+            let sim = project_raw(&trace, machine);
+            series.push(n as f64, gflops(flops, sim.makespan_ns));
+        }
+    }
+
+    print_table(
+        &format!("Fig. 6 — POTRF matrix-size scaling on {NODES} nodes (Hawk model)"),
+        "matrix n",
+        "projected GFLOP/s",
+        &[
+            s_ttg_parsec,
+            s_dplasma,
+            s_chameleon,
+            s_ttg_madness,
+            s_slate,
+            s_scalapack,
+        ],
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 8: strong scaling of FW-APSP on the Hawk model.
+//!
+//! Paper setup: 32k² matrix, block sizes 64/128/256, 1–256 nodes; series:
+//! TTG/PaRSEC and MPI+OpenMP per block size, TTG/MADNESS. Here the matrix
+//! is scaled down and node counts projected to 64. Expected shape:
+//! TTG/PaRSEC beats MPI+OpenMP by a factor ≈ 2 and keeps scaling; smaller
+//! blocks scale further for TTG/PaRSEC; TTG/MADNESS prefers large blocks
+//! and stops scaling early; every variant flattens once tiles per process
+//! drop below the worker count.
+
+use ttg_apps::floyd_warshall::{self as fw, mpi_openmp, ttg as fw_ttg};
+use ttg_bench::{print_table, project, project_raw, Series};
+use ttg_simnet::MachineModel;
+
+const N: usize = 1024;
+
+fn main() {
+    let nodes = [1usize, 4, 16, 64];
+    let blocks = [32usize, 64];
+    let mut series: Vec<Series> = Vec::new();
+
+    for &nb in &blocks {
+        let nt = N / nb;
+        let g = fw::random_graph(nt, nb, 0.25, 88);
+        let expect = fw::reference(&g);
+
+        let mut s_parsec = Series::new(format!("TTG/PaRSEC b{nb}"));
+        let mut s_madness = Series::new(format!("TTG/MADNESS b{nb}"));
+        let mut s_mpi = Series::new(format!("MPI+OpenMP b{nb}"));
+        for &p in &nodes {
+            if p > nt * nt {
+                continue; // fewer tiles than processes: skip like the paper
+            }
+            eprintln!("fig8: block {nb}, {p} nodes…");
+            let machine = MachineModel::hawk(p);
+            for (series, backend) in [
+                (&mut s_parsec, ttg_parsec::backend()),
+                (&mut s_madness, ttg_madness::backend()),
+            ] {
+                let cfg = fw_ttg::Config {
+                    ranks: p,
+                    workers: 1,
+                    backend: backend.clone(),
+                    trace: true,
+                };
+                let (d, report) = fw_ttg::run(&g, &cfg);
+                assert!(d.max_abs_diff(&expect) < 1e-12);
+                let sim = project(report.trace.as_ref().unwrap(), machine, &backend);
+                series.push(p as f64, sim.makespan_ns as f64 / 1e6);
+            }
+            let (d, trace) = mpi_openmp::run(&g, p);
+            assert!(d.max_abs_diff(&expect) < 1e-12);
+            let sim = project_raw(&trace, machine);
+            s_mpi.push(p as f64, sim.makespan_ns as f64 / 1e6);
+        }
+        series.push(s_parsec);
+        series.push(s_madness);
+        series.push(s_mpi);
+    }
+
+    print_table(
+        &format!("Fig. 8 — FW-APSP strong scaling, {N}² matrix (Hawk model)"),
+        "nodes",
+        "projected time [ms] (lower is better)",
+        &series,
+    );
+}

@@ -1,0 +1,397 @@
+//! Simulated distributed communication fabric.
+//!
+//! The paper runs on MPI clusters; this module replaces the physical wire
+//! with an in-process fabric of `n` logical **ranks**. Everything above the
+//! wire is real: inter-rank messages are serialized into byte buffers and
+//! travel through channels (the *eager* / active-message path), and large
+//! payloads can be registered as memory **regions** and fetched one-sidedly
+//! by the receiver (the *RMA* path used by the split-metadata protocol).
+//!
+//! RMA is emulated by letting the requesting rank read the registered region
+//! directly, without involving the owner's CPU threads — exactly the property
+//! real RDMA hardware provides. Once every expected consumer has fetched a
+//! region it is released and its completion callback runs (the paper's
+//! "sender is notified to release the source object").
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// Logical process rank within the fabric.
+pub type Rank = usize;
+
+/// Identifier of a registered RMA region, unique per fabric.
+pub type RegionId = u64;
+
+/// A packet travelling between ranks.
+#[derive(Debug)]
+pub enum Packet {
+    /// Active message: invoke `handler` on the destination with `payload`.
+    Am {
+        /// Destination-side handler index (e.g. template-task id).
+        handler: u32,
+        /// Sending rank.
+        from: Rank,
+        /// Serialized message body.
+        payload: Vec<u8>,
+    },
+    /// Orderly shutdown of the destination's progress loop.
+    Shutdown,
+}
+
+struct Region {
+    data: Arc<Vec<u8>>,
+    remaining: usize,
+    on_release: Option<Box<dyn FnOnce() + Send>>,
+}
+
+/// Aggregate communication counters for a fabric (all ranks).
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    /// Active messages sent between distinct ranks.
+    pub am_count: AtomicU64,
+    /// Bytes moved through active messages.
+    pub am_bytes: AtomicU64,
+    /// One-sided region fetches.
+    pub rma_gets: AtomicU64,
+    /// Bytes moved through RMA fetches.
+    pub rma_bytes: AtomicU64,
+    /// Messages delivered without leaving the rank.
+    pub local_deliveries: AtomicU64,
+    /// Number of serialization passes performed (copies into wire buffers).
+    pub serializations: AtomicU64,
+    /// Number of deep data copies performed by backends (clone-on-send).
+    pub data_copies: AtomicU64,
+}
+
+/// Plain snapshot of [`FabricStats`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Active messages sent between distinct ranks.
+    pub am_count: u64,
+    /// Bytes moved through active messages.
+    pub am_bytes: u64,
+    /// One-sided region fetches.
+    pub rma_gets: u64,
+    /// Bytes moved through RMA fetches.
+    pub rma_bytes: u64,
+    /// Messages delivered without leaving the rank.
+    pub local_deliveries: u64,
+    /// Serialization passes.
+    pub serializations: u64,
+    /// Deep data copies by backends.
+    pub data_copies: u64,
+}
+
+impl FabricStats {
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            am_count: self.am_count.load(Ordering::Relaxed),
+            am_bytes: self.am_bytes.load(Ordering::Relaxed),
+            rma_gets: self.rma_gets.load(Ordering::Relaxed),
+            rma_bytes: self.rma_bytes.load(Ordering::Relaxed),
+            local_deliveries: self.local_deliveries.load(Ordering::Relaxed),
+            serializations: self.serializations.load(Ordering::Relaxed),
+            data_copies: self.data_copies.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Total bytes that crossed rank boundaries (eager + RMA).
+    pub fn total_bytes(&self) -> u64 {
+        self.am_bytes + self.rma_bytes
+    }
+}
+
+/// The in-process fabric connecting `n` ranks.
+pub struct Fabric {
+    n: usize,
+    senders: Vec<Sender<Packet>>,
+    receivers: Mutex<Vec<Option<Receiver<Packet>>>>,
+    regions: Vec<Mutex<HashMap<RegionId, Region>>>,
+    next_region: AtomicU64,
+    barrier: Barrier,
+    stats: FabricStats,
+    in_flight: AtomicUsize,
+}
+
+impl Fabric {
+    /// Create a fabric with `n` ranks.
+    pub fn new(n: usize) -> Arc<Fabric> {
+        assert!(n > 0, "fabric needs at least one rank");
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        Arc::new(Fabric {
+            n,
+            senders,
+            receivers: Mutex::new(receivers),
+            regions: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_region: AtomicU64::new(1),
+            barrier: Barrier::new(n),
+            stats: FabricStats::default(),
+            in_flight: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.n
+    }
+
+    /// Fabric-wide communication counters.
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// Take ownership of rank `rank`'s packet receiver. Panics if taken twice.
+    pub fn take_receiver(&self, rank: Rank) -> Receiver<Packet> {
+        self.receivers.lock()[rank]
+            .take()
+            .expect("receiver already taken for this rank")
+    }
+
+    /// Send an active message from `from` to `to`. Counts wire traffic only
+    /// when the ranks differ; rank-local AMs are loopback deliveries.
+    pub fn send_am(&self, from: Rank, to: Rank, handler: u32, payload: Vec<u8>) {
+        if from != to {
+            self.stats.am_count.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .am_bytes
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        } else {
+            self.stats.local_deliveries.fetch_add(1, Ordering::Relaxed);
+        }
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.senders[to]
+            .send(Packet::Am {
+                handler,
+                from,
+                payload,
+            })
+            .expect("fabric channel closed");
+    }
+
+    /// Mark a previously sent packet as fully processed (used by the
+    /// termination detector to know when the fabric has drained).
+    pub fn packet_processed(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Number of packets sent but not yet fully processed.
+    pub fn packets_in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Deliver a shutdown packet to every rank.
+    pub fn shutdown_all(&self) {
+        for tx in &self.senders {
+            let _ = tx.send(Packet::Shutdown);
+        }
+    }
+
+    /// Register `data` as an RMA-readable region owned by `owner`.
+    ///
+    /// The region is released (and `on_release` runs) after `expected_gets`
+    /// fetches. `expected_gets == 0` releases immediately.
+    pub fn register_region(
+        &self,
+        owner: Rank,
+        data: Arc<Vec<u8>>,
+        expected_gets: usize,
+        on_release: Option<Box<dyn FnOnce() + Send>>,
+    ) -> RegionId {
+        if expected_gets == 0 {
+            if let Some(f) = on_release {
+                f();
+            }
+            return 0;
+        }
+        let id = self.next_region.fetch_add(1, Ordering::Relaxed);
+        self.regions[owner].lock().insert(
+            id,
+            Region {
+                data,
+                remaining: expected_gets,
+                on_release,
+            },
+        );
+        id
+    }
+
+    /// One-sided fetch of a region owned by `owner`.
+    ///
+    /// The calling rank obtains a zero-copy handle to the region bytes —
+    /// emulating an RDMA read that does not involve the owner's CPU. The
+    /// fetch that satisfies the region's expected count triggers release.
+    pub fn rma_get(&self, caller: Rank, owner: Rank, id: RegionId) -> Arc<Vec<u8>> {
+        let (data, release) = {
+            let mut table = self.regions[owner].lock();
+            let region = table.get_mut(&id).expect("rma_get on unknown region");
+            let data = Arc::clone(&region.data);
+            region.remaining -= 1;
+            if region.remaining == 0 {
+                let region = table.remove(&id).unwrap();
+                (data, region.on_release)
+            } else {
+                (data, None)
+            }
+        };
+        if caller != owner {
+            self.stats.rma_gets.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .rma_bytes
+                .fetch_add(data.len() as u64, Ordering::Relaxed);
+        }
+        if let Some(f) = release {
+            f();
+        }
+        data
+    }
+
+    /// Number of live (unreleased) regions owned by `rank`.
+    pub fn live_regions(&self, rank: Rank) -> usize {
+        self.regions[rank].lock().len()
+    }
+
+    /// Block until all ranks reach the barrier (used by BSP comparators).
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Record that a serialization pass happened (for the copy-count
+    /// ablation).
+    pub fn count_serialization(&self) {
+        self.stats.serializations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a deep data copy performed by a backend.
+    pub fn count_data_copy(&self) {
+        self.stats.data_copies.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn am_roundtrip_between_ranks() {
+        let fabric = Fabric::new(2);
+        let rx1 = fabric.take_receiver(1);
+        fabric.send_am(0, 1, 7, vec![1, 2, 3]);
+        match rx1.recv().unwrap() {
+            Packet::Am {
+                handler,
+                from,
+                payload,
+            } => {
+                assert_eq!(handler, 7);
+                assert_eq!(from, 0);
+                assert_eq!(payload, vec![1, 2, 3]);
+            }
+            other => panic!("unexpected packet {:?}", other),
+        }
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.am_count, 1);
+        assert_eq!(s.am_bytes, 3);
+        fabric.packet_processed();
+        assert_eq!(fabric.packets_in_flight(), 0);
+    }
+
+    #[test]
+    fn local_am_not_counted_as_wire_traffic() {
+        let fabric = Fabric::new(1);
+        let rx = fabric.take_receiver(0);
+        fabric.send_am(0, 0, 1, vec![0; 64]);
+        let _ = rx.recv().unwrap();
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.am_count, 0);
+        assert_eq!(s.am_bytes, 0);
+        assert_eq!(s.local_deliveries, 1);
+    }
+
+    #[test]
+    fn rma_region_lifecycle() {
+        let fabric = Fabric::new(3);
+        let released = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&released);
+        let data = Arc::new(vec![9u8; 128]);
+        let id = fabric.register_region(
+            0,
+            data,
+            2,
+            Some(Box::new(move || flag.store(true, Ordering::SeqCst))),
+        );
+        assert_eq!(fabric.live_regions(0), 1);
+
+        let d1 = fabric.rma_get(1, 0, id);
+        assert_eq!(d1.len(), 128);
+        assert!(!released.load(Ordering::SeqCst));
+        assert_eq!(fabric.live_regions(0), 1);
+
+        let d2 = fabric.rma_get(2, 0, id);
+        assert_eq!(d2.len(), 128);
+        assert!(released.load(Ordering::SeqCst));
+        assert_eq!(fabric.live_regions(0), 0);
+
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.rma_gets, 2);
+        assert_eq!(s.rma_bytes, 256);
+    }
+
+    #[test]
+    fn zero_consumer_region_releases_immediately() {
+        let fabric = Fabric::new(1);
+        let released = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&released);
+        fabric.register_region(
+            0,
+            Arc::new(vec![1]),
+            0,
+            Some(Box::new(move || flag.store(true, Ordering::SeqCst))),
+        );
+        assert!(released.load(Ordering::SeqCst));
+        assert_eq!(fabric.live_regions(0), 0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_ranks() {
+        let fabric = Fabric::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let f = Arc::clone(&fabric);
+            let c = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                f.barrier();
+                // After the barrier every rank must observe all increments.
+                assert_eq!(c.load(Ordering::SeqCst), 4);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_reaches_every_rank() {
+        let fabric = Fabric::new(2);
+        let rx0 = fabric.take_receiver(0);
+        let rx1 = fabric.take_receiver(1);
+        fabric.shutdown_all();
+        assert!(matches!(rx0.recv().unwrap(), Packet::Shutdown));
+        assert!(matches!(rx1.recv().unwrap(), Packet::Shutdown));
+    }
+}

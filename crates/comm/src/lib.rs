@@ -1,0 +1,24 @@
+//! # ttg-comm — serialization and the simulated distributed fabric
+//!
+//! This crate provides the communication substrate of the TTG reproduction:
+//!
+//! * [`buf`] — append-only/read-forward binary buffers (the paper's custom
+//!   high-performance in-memory archives);
+//! * [`wire`] — the [`Wire`] trait with three transfer protocols mirroring
+//!   the paper (§II-C): trivial (`memcpy`), generic archive
+//!   (Boost.Serialization analog), and split-metadata (two-stage RMA);
+//! * [`fabric`] — an in-process fabric of logical ranks with active
+//!   messages, emulated one-sided RMA, barriers, and traffic counters.
+//!
+//! The fabric replaces MPI + InfiniBand from the paper's testbeds; see
+//! `DESIGN.md` for the substitution argument.
+
+#![warn(missing_docs)]
+
+pub mod buf;
+pub mod fabric;
+pub mod wire;
+
+pub use buf::{ReadBuf, WireError, WriteBuf};
+pub use fabric::{Fabric, FabricStats, Packet, Rank, RegionId, StatsSnapshot};
+pub use wire::{bytes_to_f64s, f64s_to_bytes, from_bytes, to_bytes, Wire, WireKind};

@@ -1,0 +1,385 @@
+//! The `Wire` serialization trait and the three transfer protocols of the
+//! paper (Section II-C):
+//!
+//! * **Trivial** — the type is plain-old-data; it is encoded with a straight
+//!   field copy (the `memcpy` path of the paper).
+//! * **Archive** — generic field-by-field serialization into an in-memory
+//!   buffer. This is the analog of the paper's custom high-performance
+//!   Boost.Serialization archives: no type versioning, no pointer tracking.
+//! * **SplitMd** — the *split-metadata* two-stage protocol: a small metadata
+//!   record travels eagerly, while the object's contiguous payload is fetched
+//!   by the receiver via (emulated) RMA and attached to a freshly allocated
+//!   object. Intrusive: types opt in by implementing the `split_*` hooks.
+//!
+//! The protocol actually used for a transfer is chosen per-type by
+//! [`Wire::KIND`] and per-backend by whether the backend supports splitmd
+//! (the paper's preference order: splitmd, trivial, archive).
+
+use crate::buf::{ReadBuf, WireError, WriteBuf};
+
+/// Which transfer protocol a type prefers (paper §II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireKind {
+    /// Plain-old-data fast path (`memcpy`-style encoding).
+    Trivial,
+    /// Generic archive serialization (Boost.Serialization analog).
+    Archive,
+    /// Two-stage split-metadata protocol with RMA payload transfer.
+    SplitMd,
+}
+
+/// Serializable message type: every task ID and every data value flowing
+/// through a TTG edge must implement `Wire`.
+///
+/// The default implementations of the `split_*` hooks degrade the SplitMd
+/// protocol to whole-object archive transfer, so only types that declare
+/// `KIND = WireKind::SplitMd` need to override them.
+pub trait Wire: Sized + Send + 'static {
+    /// Preferred transfer protocol for this type.
+    const KIND: WireKind = WireKind::Archive;
+
+    /// Serialize `self` into `b`.
+    fn encode(&self, b: &mut WriteBuf);
+
+    /// Deserialize a value from `r`.
+    fn decode(r: &mut ReadBuf<'_>) -> Result<Self, WireError>;
+
+    /// Serialized size in bytes. The default performs a throw-away encode;
+    /// hot types should override with an O(1) computation.
+    fn wire_size(&self) -> usize {
+        let mut b = WriteBuf::new();
+        self.encode(&mut b);
+        b.len()
+    }
+
+    /// SplitMd stage 1 (sender): encode only the metadata needed to allocate
+    /// the object on the receiving side.
+    fn split_encode_md(&self, b: &mut WriteBuf) {
+        self.encode(b);
+    }
+
+    /// SplitMd stage 1 (receiver): allocate an object from metadata. The
+    /// payload is not yet valid — it is attached in stage 2.
+    fn split_decode_md(r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
+        Self::decode(r)
+    }
+
+    /// SplitMd stage 2 (sender): the contiguous payload to expose via RMA.
+    /// `None` means the type has no split payload and the metadata carried
+    /// everything.
+    fn split_payload(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// SplitMd stage 2 (receiver): attach the RMA-fetched payload bytes to a
+    /// metadata-allocated object.
+    fn split_attach(&mut self, _bytes: &[u8]) {}
+}
+
+macro_rules! wire_prim {
+    ($ty:ty, $put:ident, $get:ident, $size:expr) => {
+        impl Wire for $ty {
+            const KIND: WireKind = WireKind::Trivial;
+            #[inline]
+            fn encode(&self, b: &mut WriteBuf) {
+                b.$put(*self);
+            }
+            #[inline]
+            fn decode(r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
+                r.$get()
+            }
+            #[inline]
+            fn wire_size(&self) -> usize {
+                $size
+            }
+        }
+    };
+}
+
+wire_prim!(u8, put_u8, get_u8, 1);
+wire_prim!(u16, put_u16, get_u16, 2);
+wire_prim!(u32, put_u32, get_u32, 4);
+wire_prim!(u64, put_u64, get_u64, 8);
+wire_prim!(i8, put_i8, get_i8, 1);
+wire_prim!(i16, put_i16, get_i16, 2);
+wire_prim!(i32, put_i32, get_i32, 4);
+wire_prim!(i64, put_i64, get_i64, 8);
+wire_prim!(f32, put_f32, get_f32, 4);
+wire_prim!(f64, put_f64, get_f64, 8);
+
+impl Wire for usize {
+    const KIND: WireKind = WireKind::Trivial;
+    #[inline]
+    fn encode(&self, b: &mut WriteBuf) {
+        b.put_usize(*self);
+    }
+    #[inline]
+    fn decode(r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
+        r.get_usize()
+    }
+    #[inline]
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for bool {
+    const KIND: WireKind = WireKind::Trivial;
+    #[inline]
+    fn encode(&self, b: &mut WriteBuf) {
+        b.put_u8(*self as u8);
+    }
+    #[inline]
+    fn decode(r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
+        Ok(r.get_u8()? != 0)
+    }
+    #[inline]
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for () {
+    const KIND: WireKind = WireKind::Trivial;
+    #[inline]
+    fn encode(&self, _b: &mut WriteBuf) {}
+    #[inline]
+    fn decode(_r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+    #[inline]
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+impl Wire for String {
+    #[inline]
+    fn encode(&self, b: &mut WriteBuf) {
+        b.put_len_bytes(self.as_bytes());
+    }
+    #[inline]
+    fn decode(r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
+        let bytes = r.get_len_bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| WireError::new(e.to_string()))
+    }
+    #[inline]
+    fn wire_size(&self) -> usize {
+        8 + self.len()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, b: &mut WriteBuf) {
+        b.put_usize(self.len());
+        for x in self {
+            x.encode(b);
+        }
+    }
+    fn decode(r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
+        let n = r.get_usize()?;
+        // Guard against a corrupt length causing a huge allocation.
+        if n > r.remaining() && std::mem::size_of::<T>() > 0 {
+            return Err(WireError::new(format!("vec length {} exceeds buffer", n)));
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, b: &mut WriteBuf) {
+        match self {
+            None => b.put_u8(0),
+            Some(x) => {
+                b.put_u8(1);
+                x.encode(b);
+            }
+        }
+    }
+    fn decode(r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            t => Err(WireError::new(format!("bad Option tag {}", t))),
+        }
+    }
+}
+
+impl<T: Wire + Copy + Default, const N: usize> Wire for [T; N] {
+    fn encode(&self, b: &mut WriteBuf) {
+        for x in self {
+            x.encode(b);
+        }
+    }
+    fn decode(r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
+        let mut out = [T::default(); N];
+        for slot in out.iter_mut() {
+            *slot = T::decode(r)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn encode(&self, b: &mut WriteBuf) {
+                $(self.$idx.encode(b);)+
+            }
+            fn decode(r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
+                Ok(($($name::decode(r)?,)+))
+            }
+        }
+    };
+}
+
+wire_tuple!(A: 0);
+wire_tuple!(A: 0, B: 1);
+wire_tuple!(A: 0, B: 1, C: 2);
+wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Implement [`Wire`] for a plain struct by listing its fields.
+///
+/// ```
+/// use ttg_comm::wire_struct;
+/// #[derive(Debug, Clone, PartialEq)]
+/// struct P { x: i32, y: f64 }
+/// wire_struct!(P { x, y });
+/// ```
+#[macro_export]
+macro_rules! wire_struct {
+    ($ty:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::Wire for $ty {
+            fn encode(&self, b: &mut $crate::WriteBuf) {
+                $( $crate::Wire::encode(&self.$field, b); )*
+            }
+            fn decode(r: &mut $crate::ReadBuf<'_>) -> Result<Self, $crate::WireError> {
+                Ok($ty {
+                    $( $field: $crate::Wire::decode(r)?, )*
+                })
+            }
+        }
+    };
+}
+
+/// Encode a `Vec<f64>` payload as raw little-endian bytes.
+///
+/// Helper for SplitMd types whose contiguous segment is an `f64` buffer
+/// (e.g. matrix tiles, spectral coefficients).
+pub fn f64s_to_bytes(data: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 8);
+    for x in data {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Decode raw little-endian bytes into an `f64` buffer (inverse of
+/// [`f64s_to_bytes`]).
+pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(c);
+            f64::from_le_bytes(a)
+        })
+        .collect()
+}
+
+/// Serialize a value to a standalone byte vector (archive protocol).
+pub fn to_bytes<T: Wire>(v: &T) -> Vec<u8> {
+    let mut b = WriteBuf::with_capacity(v.wire_size());
+    v.encode(&mut b);
+    b.into_vec()
+}
+
+/// Deserialize a value from a byte slice (archive protocol).
+pub fn from_bytes<T: Wire>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = ReadBuf::new(bytes);
+    T::decode(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Point {
+        x: i32,
+        y: f64,
+        tag: String,
+    }
+    wire_struct!(Point { x, y, tag });
+
+    #[test]
+    fn struct_roundtrip() {
+        let p = Point {
+            x: -3,
+            y: 2.5,
+            tag: "hello".into(),
+        };
+        let bytes = to_bytes(&p);
+        let q: Point = from_bytes(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn nested_collections_roundtrip() {
+        let v: Vec<Option<(u32, String)>> =
+            vec![Some((1, "a".into())), None, Some((9, String::new()))];
+        let bytes = to_bytes(&v);
+        let w: Vec<Option<(u32, String)>> = from_bytes(&bytes).unwrap();
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn arrays_and_tuples() {
+        let a: [i64; 4] = [1, -2, 3, -4];
+        let t = (a, 7u8, 1.5f32);
+        let bytes = to_bytes(&t);
+        let u: ([i64; 4], u8, f32) = from_bytes(&bytes).unwrap();
+        assert_eq!(t, u);
+    }
+
+    #[test]
+    fn corrupt_vec_length_rejected() {
+        let mut b = WriteBuf::new();
+        b.put_usize(usize::MAX / 2);
+        let bytes = b.into_vec();
+        let r: Result<Vec<u64>, _> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn f64_bytes_roundtrip() {
+        let xs = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 42.0];
+        let b = f64s_to_bytes(&xs);
+        assert_eq!(b.len(), xs.len() * 8);
+        assert_eq!(bytes_to_f64s(&b), xs);
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(<u64 as Wire>::KIND, WireKind::Trivial);
+        assert_eq!(<String as Wire>::KIND, WireKind::Archive);
+    }
+
+    #[test]
+    fn wire_size_matches_encoding() {
+        let p = Point {
+            x: 1,
+            y: 0.0,
+            tag: "abcd".into(),
+        };
+        assert_eq!(p.wire_size(), to_bytes(&p).len());
+        assert_eq!(7u64.wire_size(), 8);
+        assert_eq!(().wire_size(), 0);
+    }
+}

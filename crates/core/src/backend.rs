@@ -1,0 +1,74 @@
+//! Backend specification: the knobs that distinguish the paper's two TTG
+//! backends (PaRSEC, MADNESS).
+//!
+//! TTG is "a higher-level abstraction for a low-level task runtime"
+//! (paper §II-D); the concrete backend crates (`ttg-parsec`,
+//! `ttg-madness`) construct [`BackendSpec`] values that configure the shared
+//! execution machinery in this crate and add their own runtime facilities
+//! (PTG interface, futures/global namespaces).
+
+use crate::types::LocalPass;
+use ttg_runtime::SchedulerKind;
+
+/// Configuration surface of a TTG backend.
+#[derive(Debug, Clone)]
+pub struct BackendSpec {
+    /// Backend name for reports ("parsec", "madness", ...).
+    pub name: &'static str,
+    /// Scheduling discipline of the per-rank worker pools.
+    pub scheduler: SchedulerKind,
+    /// Rank-local data passing semantics.
+    pub local_pass: LocalPass,
+    /// Whether the split-metadata RMA protocol may be used (paper: PaRSEC
+    /// backend only).
+    pub supports_splitmd: bool,
+    /// Serialize broadcast payloads once per destination *process* rather
+    /// than once per destination *task* (paper §II-A optimization).
+    pub optimized_broadcast: bool,
+    /// Whether task priorities from priority maps reach the scheduler.
+    pub honor_priorities: bool,
+    /// Per-message software overhead in nanoseconds charged by the
+    /// discrete-event projection (captures AM-handling cost differences).
+    pub msg_overhead_ns: u64,
+    /// Per-task activation overhead in nanoseconds for the discrete-event
+    /// projection.
+    pub task_overhead_ns: u64,
+}
+
+impl BackendSpec {
+    /// A neutral default backend (used by unit tests): work stealing,
+    /// shared local data, all features on.
+    pub fn default_spec() -> Self {
+        BackendSpec {
+            name: "default",
+            scheduler: SchedulerKind::WorkStealing,
+            local_pass: LocalPass::Share,
+            supports_splitmd: true,
+            optimized_broadcast: true,
+            honor_priorities: true,
+            msg_overhead_ns: 800,
+            task_overhead_ns: 300,
+        }
+    }
+}
+
+impl Default for BackendSpec {
+    fn default() -> Self {
+        Self::default_spec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_enables_all_features() {
+        let s = BackendSpec::default();
+        assert!(s.supports_splitmd);
+        assert!(s.optimized_broadcast);
+        assert!(s.honor_priorities);
+        assert_eq!(s.scheduler, SchedulerKind::WorkStealing);
+        assert_eq!(s.local_pass, LocalPass::Share);
+    }
+}

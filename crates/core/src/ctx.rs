@@ -1,0 +1,69 @@
+//! Shared per-execution runtime context.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use ttg_comm::Fabric;
+use ttg_runtime::{Quiescence, WorkerPool};
+
+use crate::backend::BackendSpec;
+use crate::node::AnyNode;
+use crate::trace::TraceRecorder;
+
+/// Everything a task or a delivery path needs at run time: the fabric, the
+/// per-rank pools, the backend configuration, the quiescence tracker, and
+/// the optional trace recorder.
+pub struct RuntimeCtx {
+    /// The simulated communication fabric.
+    pub fabric: Arc<Fabric>,
+    /// Per-rank worker pools (set once by the executor).
+    pub pools: OnceLock<Vec<WorkerPool>>,
+    /// Global quiescence tracker backing `Executor::wait`.
+    pub quiescence: Arc<Quiescence>,
+    /// Active backend configuration.
+    pub backend: BackendSpec,
+    /// Trace recorder, present when tracing is enabled.
+    pub trace: Option<TraceRecorder>,
+    /// All template-task nodes, indexed by node id (set once).
+    pub nodes: OnceLock<Vec<Arc<dyn AnyNode>>>,
+    next_task: AtomicU64,
+}
+
+impl RuntimeCtx {
+    /// Create a context over `fabric` with the given backend.
+    pub fn new(fabric: Arc<Fabric>, backend: BackendSpec, trace: bool) -> Arc<Self> {
+        Arc::new(RuntimeCtx {
+            fabric,
+            pools: OnceLock::new(),
+            quiescence: Arc::new(Quiescence::new()),
+            backend,
+            trace: if trace {
+                Some(TraceRecorder::new())
+            } else {
+                None
+            },
+            nodes: OnceLock::new(),
+            next_task: AtomicU64::new(1),
+        })
+    }
+
+    /// Number of ranks in this execution.
+    pub fn n_ranks(&self) -> usize {
+        self.fabric.num_ranks()
+    }
+
+    /// The worker pool of `rank`.
+    pub fn pool(&self, rank: usize) -> &WorkerPool {
+        &self.pools.get().expect("executor not started")[rank]
+    }
+
+    /// Allocate a globally unique task id (≥ 1; 0 means "external seed").
+    pub fn alloc_task_id(&self) -> u64 {
+        self.next_task.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Look up a node by id.
+    pub fn node(&self, id: u32) -> &Arc<dyn AnyNode> {
+        &self.nodes.get().expect("graph not attached")[id as usize]
+    }
+}

@@ -1,0 +1,374 @@
+//! Typed edges, consumer ports, and output terminals.
+//!
+//! An [`Edge<K, V>`] encodes one possible flow of messages carrying task IDs
+//! of type `K` and data of type `V` (paper §II). Producer-side output
+//! terminals route values to every consumer port registered on the edge;
+//! the port implements destination resolution (keymap), the local-pass
+//! semantics of the active backend, and the wire protocols (inline archive,
+//! optimized broadcast, split-metadata RMA).
+
+use std::sync::{Arc, Weak};
+
+use parking_lot::RwLock;
+
+use ttg_comm::{WireKind, WriteBuf};
+
+use crate::ctx::RuntimeCtx;
+use crate::node::{
+    am_header, NodeInner, MSG_DATA_INLINE, MSG_DATA_SPLITMD, MSG_FINALIZE, MSG_SET_SIZE,
+};
+use crate::trace::Dep;
+use crate::types::{Data, ErasedVal, Key, LocalPass};
+
+/// A consumer endpoint of an edge: one input terminal of one template task.
+pub trait ConsumerPort<K: Key, V: Data>: Send + Sync {
+    /// Route `v` to the tasks identified by `keys`.
+    fn route(&self, keys: &[K], v: V, from_task: u64, src_rank: usize, ctx: &Arc<RuntimeCtx>);
+    /// Set the expected stream size for key `k` on this terminal.
+    fn set_stream_size(&self, k: &K, n: usize, src_rank: usize, ctx: &Arc<RuntimeCtx>);
+    /// Finalize the stream for key `k` on this terminal.
+    fn finalize(&self, k: &K, src_rank: usize, ctx: &Arc<RuntimeCtx>);
+    /// Directly insert a seed value (main-thread injection, no provenance).
+    fn seed(&self, k: K, v: V, ctx: &Arc<RuntimeCtx>);
+}
+
+/// Shared state of an edge: the registered consumer ports.
+pub struct EdgeState<K: Key, V: Data> {
+    name: String,
+    consumers: RwLock<Vec<Arc<dyn ConsumerPort<K, V>>>>,
+}
+
+/// A strongly typed edge. Cloning shares the underlying state, so the same
+/// edge value can be passed as an output of one `make_tt` and an input of
+/// another.
+pub struct Edge<K: Key, V: Data> {
+    state: Arc<EdgeState<K, V>>,
+}
+
+impl<K: Key, V: Data> Clone for Edge<K, V> {
+    fn clone(&self) -> Self {
+        Edge {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<K: Key, V: Data> Edge<K, V> {
+    /// Create a named edge.
+    pub fn new(name: impl Into<String>) -> Self {
+        Edge {
+            state: Arc::new(EdgeState {
+                name: name.into(),
+                consumers: RwLock::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Edge name (diagnostics).
+    pub fn name(&self) -> String {
+        self.state.name.clone()
+    }
+
+    /// Register a consumer port (done by `make_tt` for each input edge).
+    pub fn add_consumer(&self, port: Arc<dyn ConsumerPort<K, V>>) {
+        self.state.consumers.write().push(port);
+    }
+
+    /// Number of consumer terminals attached.
+    pub fn fanout(&self) -> usize {
+        self.state.consumers.read().len()
+    }
+
+    pub(crate) fn with_consumers<R>(
+        &self,
+        f: impl FnOnce(&[Arc<dyn ConsumerPort<K, V>>]) -> R,
+    ) -> R {
+        f(&self.state.consumers.read())
+    }
+}
+
+impl<K: Key, V: Data> Default for Edge<K, V> {
+    fn default() -> Self {
+        Edge::new("edge")
+    }
+}
+
+/// The concrete consumer port: routes values into a `NodeInner<K>` input
+/// terminal, applying backend data-passing semantics and wire protocols.
+pub struct PortImpl<K: Key, V: Data> {
+    node: Weak<NodeInner<K>>,
+    terminal: u16,
+    _ph: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<K: Key, V: Data> PortImpl<K, V> {
+    /// Create a port for input `terminal` of `node`.
+    pub fn new(node: Weak<NodeInner<K>>, terminal: u16) -> Self {
+        PortImpl {
+            node,
+            terminal,
+            _ph: std::marker::PhantomData,
+        }
+    }
+
+    fn node(&self) -> Arc<NodeInner<K>> {
+        self.node.upgrade().expect("graph dropped while routing")
+    }
+
+    /// Deliver to rank-local consumers honoring the backend's local-pass
+    /// mode. `v` is consumed; it is cloned only as required.
+    fn deliver_local(
+        &self,
+        node: &Arc<NodeInner<K>>,
+        rank: usize,
+        keys: &[K],
+        v: V,
+        from_task: u64,
+        src_rank: usize,
+        ctx: &Arc<RuntimeCtx>,
+    ) {
+        let dep = Dep {
+            from_task,
+            bytes: 0,
+            src_rank,
+            msg: 0,
+        };
+        let t = self.terminal as usize;
+        match ctx.backend.local_pass {
+            LocalPass::Copy => {
+                // MADNESS-like: every consumer gets a private deep copy.
+                let n = keys.len();
+                for (i, k) in keys.iter().enumerate() {
+                    let val = if i + 1 == n {
+                        // The last key may take the original without a copy
+                        // only when the value was already copied for us;
+                        // count it as a copy regardless to model the
+                        // backend's always-copy semantics.
+                        ctx.fabric.count_data_copy();
+                        ErasedVal::Owned(Box::new(v.clone()))
+                    } else {
+                        ctx.fabric.count_data_copy();
+                        ErasedVal::Owned(Box::new(v.clone()))
+                    };
+                    node.insert(rank, t, k.clone(), val, dep, ctx);
+                }
+            }
+            LocalPass::Share => {
+                // PaRSEC-like: the runtime owns the datum; consumers share
+                // an Arc and copy-on-write only if they mutate while shared.
+                if keys.len() == 1 {
+                    node.insert(
+                        rank,
+                        t,
+                        keys[0].clone(),
+                        ErasedVal::Owned(Box::new(v)),
+                        dep,
+                        ctx,
+                    );
+                } else {
+                    let arc: Arc<V> = Arc::new(v);
+                    for k in keys {
+                        node.insert(
+                            rank,
+                            t,
+                            k.clone(),
+                            ErasedVal::Shared(Arc::clone(&arc) as Arc<dyn std::any::Any + Send + Sync>),
+                            dep,
+                            ctx,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Send to one remote rank using the inline (archive/trivial) protocol.
+    fn send_inline(
+        &self,
+        node: &NodeInner<K>,
+        dest: usize,
+        keys: &[K],
+        value_bytes: &[u8],
+        from_task: u64,
+        src_rank: usize,
+        ctx: &Arc<RuntimeCtx>,
+    ) {
+        let mut b = WriteBuf::with_capacity(16 + keys.len() * 16 + value_bytes.len());
+        am_header(&mut b, from_task, MSG_DATA_INLINE, self.terminal);
+        b.put_u64(src_rank as u64);
+        b.put_u32(keys.len() as u32);
+        for k in keys {
+            k.encode(&mut b);
+        }
+        b.put_bytes(value_bytes);
+        ctx.fabric.send_am(src_rank, dest, node.id, b.into_vec());
+    }
+}
+
+impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
+    fn route(&self, keys: &[K], v: V, from_task: u64, src_rank: usize, ctx: &Arc<RuntimeCtx>) {
+        let node = self.node();
+        let n_ranks = ctx.n_ranks();
+
+        // Group destination keys by owner rank, preserving order.
+        let mut groups: Vec<(usize, Vec<K>)> = Vec::new();
+        for k in keys {
+            let r = node.owner(k, n_ranks);
+            match groups.iter_mut().find(|(g, _)| *g == r) {
+                Some((_, ks)) => ks.push(k.clone()),
+                None => groups.push((r, vec![k.clone()])),
+            }
+        }
+
+        // Remote ranks first (they borrow `v`), local delivery consumes it.
+        let remote: Vec<&(usize, Vec<K>)> =
+            groups.iter().filter(|(r, _)| *r != src_rank).collect();
+        if !remote.is_empty() {
+            let use_splitmd = V::KIND == WireKind::SplitMd && ctx.backend.supports_splitmd;
+            if use_splitmd {
+                // Stage 1: register the contiguous payload once for all
+                // destination ranks, send only metadata eagerly.
+                let payload = Arc::new(v.split_payload().unwrap_or_default());
+                ctx.fabric.count_serialization();
+                let region =
+                    ctx.fabric
+                        .register_region(src_rank, payload, remote.len(), None);
+                for (dest, ks) in &remote {
+                    let mut b = WriteBuf::new();
+                    am_header(&mut b, from_task, MSG_DATA_SPLITMD, self.terminal);
+                    b.put_u64(src_rank as u64);
+                    b.put_u64(region);
+                    b.put_u64(src_rank as u64);
+                    b.put_u32(ks.len() as u32);
+                    for k in ks {
+                        k.encode(&mut b);
+                    }
+                    v.split_encode_md(&mut b);
+                    ctx.fabric.send_am(src_rank, *dest, node.id, b.into_vec());
+                }
+            } else if ctx.backend.optimized_broadcast {
+                // Serialize the value once per *send*, reuse for every rank
+                // (paper §II-A broadcast optimization).
+                let value_bytes = ttg_comm::to_bytes(&v);
+                ctx.fabric.count_serialization();
+                for (dest, ks) in &remote {
+                    self.send_inline(&node, *dest, ks, &value_bytes, from_task, src_rank, ctx);
+                }
+            } else {
+                // Naive path: one serialization (and one AM) per key.
+                for (dest, ks) in &remote {
+                    for k in ks {
+                        let value_bytes = ttg_comm::to_bytes(&v);
+                        ctx.fabric.count_serialization();
+                        self.send_inline(
+                            &node,
+                            *dest,
+                            std::slice::from_ref(k),
+                            &value_bytes,
+                            from_task,
+                            src_rank,
+                            ctx,
+                        );
+                    }
+                }
+            }
+        }
+
+        if let Some((rank, ks)) = groups.iter().find(|(r, _)| *r == src_rank) {
+            self.deliver_local(&node, *rank, ks, v, from_task, src_rank, ctx);
+        }
+    }
+
+    fn set_stream_size(&self, k: &K, n: usize, src_rank: usize, ctx: &Arc<RuntimeCtx>) {
+        let node = self.node();
+        let owner = node.owner(k, ctx.n_ranks());
+        if owner == src_rank {
+            node.set_stream_size(owner, self.terminal as usize, k.clone(), n, ctx);
+        } else {
+            let mut b = WriteBuf::new();
+            am_header(&mut b, 0, MSG_SET_SIZE, self.terminal);
+            k.encode(&mut b);
+            b.put_u64(n as u64);
+            ctx.fabric.send_am(src_rank, owner, node.id, b.into_vec());
+        }
+    }
+
+    fn finalize(&self, k: &K, src_rank: usize, ctx: &Arc<RuntimeCtx>) {
+        let node = self.node();
+        let owner = node.owner(k, ctx.n_ranks());
+        if owner == src_rank {
+            node.finalize_stream(owner, self.terminal as usize, k.clone(), ctx);
+        } else {
+            let mut b = WriteBuf::new();
+            am_header(&mut b, 0, MSG_FINALIZE, self.terminal);
+            k.encode(&mut b);
+            ctx.fabric.send_am(src_rank, owner, node.id, b.into_vec());
+        }
+    }
+
+    fn seed(&self, k: K, v: V, ctx: &Arc<RuntimeCtx>) {
+        let node = self.node();
+        let owner = node.owner(&k, ctx.n_ranks());
+        node.insert(
+            owner,
+            self.terminal as usize,
+            k,
+            ErasedVal::Owned(Box::new(v)),
+            Dep {
+                from_task: 0,
+                bytes: 0,
+                src_rank: owner,
+                msg: 0,
+            },
+            ctx,
+        );
+    }
+}
+
+/// Producer-side handle on an edge: the output terminal of a template task.
+pub struct OutTerm<K: Key, V: Data> {
+    edge: Edge<K, V>,
+}
+
+impl<K: Key, V: Data> OutTerm<K, V> {
+    /// Wrap an edge as an output terminal.
+    pub fn new(edge: Edge<K, V>) -> Self {
+        OutTerm { edge }
+    }
+
+    /// Send `v` to the single task `k` on every consumer of the edge.
+    pub fn send_one(&self, k: K, v: V, from_task: u64, src_rank: usize, ctx: &Arc<RuntimeCtx>) {
+        self.broadcast_keys(std::slice::from_ref(&k), v, from_task, src_rank, ctx);
+    }
+
+    /// Send `v` to every task in `keys` on every consumer of the edge
+    /// (`ttg::broadcast`, Fig. 2b).
+    pub fn broadcast_keys(
+        &self,
+        keys: &[K],
+        v: V,
+        from_task: u64,
+        src_rank: usize,
+        ctx: &Arc<RuntimeCtx>,
+    ) {
+        if keys.is_empty() {
+            return;
+        }
+        self.edge.with_consumers(|ports| {
+            assert!(
+                !ports.is_empty(),
+                "edge '{}' has no consumer terminal",
+                self.edge.name()
+            );
+            for port in &ports[..ports.len() - 1] {
+                port.route(keys, v.clone(), from_task, src_rank, ctx);
+            }
+            ports[ports.len() - 1].route(keys, v, from_task, src_rank, ctx);
+        });
+    }
+
+    /// The underlying edge.
+    pub fn edge(&self) -> &Edge<K, V> {
+        &self.edge
+    }
+}

@@ -1,0 +1,205 @@
+//! Distributed execution of a template task graph.
+//!
+//! The executor stands in for the paper's SPMD launch: it creates the
+//! fabric, one worker pool and one communication thread per rank, attaches
+//! the graph, accepts seed messages, and waits for global quiescence.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ttg_comm::{Fabric, Packet, StatsSnapshot};
+use ttg_runtime::WorkerPool;
+
+use crate::backend::BackendSpec;
+use crate::ctx::RuntimeCtx;
+use crate::graph::Graph;
+use crate::trace::TaskEvent;
+
+/// Execution parameters.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Number of logical ranks ("processes").
+    pub ranks: usize,
+    /// Worker threads per rank.
+    pub workers_per_rank: usize,
+    /// Backend configuration.
+    pub backend: BackendSpec,
+    /// Record a task/dependency trace for simnet projection.
+    pub trace: bool,
+}
+
+impl ExecConfig {
+    /// Single-rank configuration with `workers` threads and the default
+    /// backend (useful in tests).
+    pub fn local(workers: usize) -> Self {
+        ExecConfig {
+            ranks: 1,
+            workers_per_rank: workers,
+            backend: BackendSpec::default_spec(),
+            trace: false,
+        }
+    }
+
+    /// `ranks` ranks × `workers` threads with the given backend.
+    pub fn distributed(ranks: usize, workers: usize, backend: BackendSpec) -> Self {
+        ExecConfig {
+            ranks,
+            workers_per_rank: workers,
+            backend,
+            trace: false,
+        }
+    }
+
+    /// Enable trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+/// Summary of one execution.
+#[derive(Debug)]
+pub struct ExecReport {
+    /// Wall-clock time from executor start to quiescence.
+    pub elapsed: Duration,
+    /// Fabric counters at quiescence.
+    pub comm: StatsSnapshot,
+    /// Total tasks executed.
+    pub tasks: u64,
+    /// Per-template (name, tasks executed).
+    pub per_node: Vec<(&'static str, u64)>,
+    /// Task trace, when tracing was enabled.
+    pub trace: Option<Vec<TaskEvent>>,
+}
+
+/// A running TTG execution.
+pub struct Executor {
+    ctx: Arc<RuntimeCtx>,
+    graph: Graph,
+    comm_threads: Vec<std::thread::JoinHandle<()>>,
+    started: Instant,
+}
+
+impl Executor {
+    /// Start pools and communication threads for `graph`.
+    pub fn new(graph: Graph, cfg: ExecConfig) -> Self {
+        let fabric = Fabric::new(cfg.ranks);
+        let ctx = RuntimeCtx::new(Arc::clone(&fabric), cfg.backend.clone(), cfg.trace);
+
+        let pools: Vec<WorkerPool> = (0..cfg.ranks)
+            .map(|r| {
+                WorkerPool::new(
+                    cfg.workers_per_rank,
+                    cfg.backend.scheduler,
+                    Arc::clone(&ctx.quiescence),
+                    &format!("r{r}"),
+                )
+            })
+            .collect();
+        ctx.pools.set(pools).ok().expect("pools set twice");
+
+        for node in graph.nodes() {
+            node.attach(cfg.ranks);
+        }
+        ctx.nodes
+            .set(graph.nodes().to_vec())
+            .ok()
+            .expect("nodes set twice");
+
+        // One communication/progress thread per rank: the analog of the
+        // backends' AM server / communication thread.
+        let mut comm_threads = Vec::with_capacity(cfg.ranks);
+        for r in 0..cfg.ranks {
+            let rx = fabric.take_receiver(r);
+            let ctx2 = Arc::clone(&ctx);
+            comm_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("comm-{r}"))
+                    .spawn(move || {
+                        while let Ok(pkt) = rx.recv() {
+                            match pkt {
+                                Packet::Am {
+                                    handler, payload, ..
+                                } => {
+                                    ctx2.node(handler)
+                                        .deliver_am(r, &payload, &ctx2)
+                                        .unwrap_or_else(|e| {
+                                            panic!("AM delivery failed on rank {r}: {e}")
+                                        });
+                                    ctx2.fabric.packet_processed();
+                                }
+                                Packet::Shutdown => break,
+                            }
+                        }
+                    })
+                    .expect("failed to spawn comm thread"),
+            );
+        }
+
+        Executor {
+            ctx,
+            graph,
+            comm_threads,
+            started: Instant::now(),
+        }
+    }
+
+    /// Runtime context (needed for seeding through [`crate::outs::InRef`]).
+    pub fn ctx(&self) -> &Arc<RuntimeCtx> {
+        &self.ctx
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.ctx.n_ranks()
+    }
+
+    /// Reset the elapsed-time origin (call after seeding if setup time
+    /// should be excluded).
+    pub fn restart_clock(&mut self) {
+        self.started = Instant::now();
+    }
+
+    /// Block until the execution is globally quiescent: no task running or
+    /// queued on any rank and no message in flight.
+    pub fn wait(&self) {
+        loop {
+            if self.ctx.fabric.packets_in_flight() == 0 && self.ctx.quiescence.is_quiescent() {
+                // Confirm: no packet appeared while probing the pools.
+                if self.ctx.fabric.packets_in_flight() == 0
+                    && self.ctx.quiescence.is_quiescent()
+                {
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    /// Wait for quiescence, shut everything down, and report.
+    pub fn finish(self) -> ExecReport {
+        self.wait();
+        let elapsed = self.started.elapsed();
+        self.ctx.fabric.shutdown_all();
+        for t in self.comm_threads {
+            t.join().expect("comm thread panicked");
+        }
+        for pool in self.ctx.pools.get().expect("pools missing") {
+            pool.shutdown();
+        }
+        let per_node: Vec<(&'static str, u64)> = self
+            .graph
+            .nodes()
+            .iter()
+            .map(|n| (n.node_name(), n.tasks_executed()))
+            .collect();
+        let tasks = per_node.iter().map(|(_, t)| t).sum();
+        ExecReport {
+            elapsed,
+            comm: self.ctx.fabric.stats().snapshot(),
+            tasks,
+            per_node,
+            trace: self.ctx.trace.as_ref().map(|t| t.take()),
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! Type-erased template-task internals.
+//!
+//! A template task ("TT") matches incoming messages by task ID across all of
+//! its input terminals; when every terminal has a complete input for some ID
+//! a task instance is created and scheduled (paper §II). The public, fully
+//! typed API lives in `graph`/`outs`; this module implements the matching
+//! tables, streaming-terminal reduction, task launch, and the wire format of
+//! active messages.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+use ttg_comm::{ReadBuf, WireError, WriteBuf};
+
+use crate::ctx::RuntimeCtx;
+use crate::trace::{Dep, TaskEvent};
+use crate::types::{ErasedVal, Key};
+
+/// AM message type: inline (archive/trivial) data.
+pub const MSG_DATA_INLINE: u8 = 0;
+/// AM message type: split-metadata data (payload via RMA).
+pub const MSG_DATA_SPLITMD: u8 = 1;
+/// AM message type: set the expected stream size for a key.
+pub const MSG_SET_SIZE: u8 = 2;
+/// AM message type: finalize an unbounded stream for a key.
+pub const MSG_FINALIZE: u8 = 3;
+
+/// Type-erased reduction operator for a streaming terminal.
+pub type ErasedReduce = Arc<dyn Fn(&mut Box<dyn Any + Send>, ErasedVal) + Send + Sync>;
+
+/// Type-erased conversion of the first stream message into the accumulator.
+pub type ErasedInit = Arc<dyn Fn(ErasedVal) -> Box<dyn Any + Send> + Send + Sync>;
+
+/// Reducer installed on an input terminal (paper §II-B streaming terminals).
+#[derive(Clone)]
+pub struct ReducerSpec {
+    /// Converts the first message into the accumulator.
+    pub init: ErasedInit,
+    /// Folds one more message into the accumulator.
+    pub op: ErasedReduce,
+    /// Default expected stream length (None = unbounded, requires
+    /// finalize or a per-key size).
+    pub default_size: Option<usize>,
+}
+
+/// Fixed (construction-time) per-terminal vtable.
+pub struct InputMeta {
+    /// Decode an inline value from an AM.
+    pub decode: Arc<dyn Fn(&mut ReadBuf<'_>) -> Result<Box<dyn Any + Send>, WireError> + Send + Sync>,
+    /// Decode a split-metadata value: metadata cursor + RMA payload bytes.
+    pub decode_splitmd:
+        Arc<dyn Fn(&mut ReadBuf<'_>, &[u8]) -> Result<Box<dyn Any + Send>, WireError> + Send + Sync>,
+    /// Clone an erased boxed value (for multi-key deliveries).
+    pub clone_boxed: Arc<dyn Fn(&(dyn Any + Send)) -> Box<dyn Any + Send> + Send + Sync>,
+}
+
+/// State of one input terminal for one pending task ID.
+pub enum SlotE {
+    /// No message yet.
+    Empty,
+    /// Single-message terminal, satisfied.
+    Plain(ErasedVal),
+    /// Streaming terminal accumulating messages.
+    Stream {
+        /// Reduction accumulator (None until the first message).
+        acc: Option<Box<dyn Any + Send>>,
+        /// Messages folded so far.
+        received: usize,
+        /// Expected stream length (terminal default or per-key override).
+        expected: Option<usize>,
+        /// Explicitly finalized via `finalize`.
+        finalized: bool,
+    },
+}
+
+impl SlotE {
+    fn is_complete(&self) -> bool {
+        match self {
+            SlotE::Empty => false,
+            SlotE::Plain(_) => true,
+            SlotE::Stream {
+                received,
+                expected,
+                finalized,
+                ..
+            } => *finalized || expected.map_or(false, |e| *received >= e),
+        }
+    }
+}
+
+/// Matching-table entry: all terminal states plus trace provenance.
+pub struct PendingE {
+    slots: Vec<SlotE>,
+    deps: Vec<Dep>,
+}
+
+impl PendingE {
+    fn new(n: usize) -> Self {
+        PendingE {
+            slots: (0..n).map(|_| SlotE::Empty).collect(),
+            deps: Vec::new(),
+        }
+    }
+    fn all_complete(&self) -> bool {
+        self.slots.iter().all(|s| s.is_complete())
+    }
+}
+
+/// Type-erased interface of a template task, used by the executor's
+/// communication threads and diagnostics.
+pub trait AnyNode: Send + Sync {
+    /// Size the per-rank matching tables (called once by the executor).
+    fn attach(&self, n_ranks: usize);
+    /// Deliver a serialized active message addressed to this node.
+    fn deliver_am(
+        &self,
+        rank: usize,
+        payload: &[u8],
+        ctx: &Arc<RuntimeCtx>,
+    ) -> Result<(), WireError>;
+    /// Node id within its graph.
+    fn node_id(&self) -> u32;
+    /// Node name.
+    fn node_name(&self) -> &'static str;
+    /// Tasks executed so far.
+    fn tasks_executed(&self) -> u64;
+    /// Pending (incomplete) task IDs across all ranks.
+    fn pending(&self) -> usize;
+}
+
+type InvokeFn<K> = Arc<dyn Fn(K, Vec<ErasedVal>, u64, usize, &Arc<RuntimeCtx>) + Send + Sync>;
+type KeyMapFn<K> = Arc<dyn Fn(&K) -> usize + Send + Sync>;
+type PrioMapFn<K> = Arc<dyn Fn(&K) -> i32 + Send + Sync>;
+type CostMapFn<K> = Arc<dyn Fn(&K) -> u64 + Send + Sync>;
+
+/// The shared implementation behind every template task.
+pub struct NodeInner<K: Key> {
+    /// Node id within the graph.
+    pub id: u32,
+    /// Node name (for traces and debugging).
+    pub name: &'static str,
+    /// Number of input terminals.
+    pub n_inputs: usize,
+    tables: OnceLock<Vec<Mutex<HashMap<K, PendingE>>>>,
+    keymap: RwLock<KeyMapFn<K>>,
+    priomap: RwLock<Option<PrioMapFn<K>>>,
+    costmap: RwLock<Option<CostMapFn<K>>>,
+    metas: Vec<InputMeta>,
+    reducers: Vec<RwLock<Option<ReducerSpec>>>,
+    invoke: OnceLock<InvokeFn<K>>,
+    executed: Arc<AtomicU64>,
+}
+
+impl<K: Key> NodeInner<K> {
+    /// Construct a node; `metas` has one entry per input terminal.
+    pub fn new(id: u32, name: &'static str, metas: Vec<InputMeta>, keymap: KeyMapFn<K>) -> Self {
+        let n_inputs = metas.len();
+        NodeInner {
+            id,
+            name,
+            n_inputs,
+            tables: OnceLock::new(),
+            keymap: RwLock::new(keymap),
+            priomap: RwLock::new(None),
+            costmap: RwLock::new(None),
+            metas,
+            reducers: (0..n_inputs).map(|_| RwLock::new(None)).collect(),
+            invoke: OnceLock::new(),
+            executed: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Install the task body (done once by `make_tt`).
+    pub fn set_invoke(&self, f: InvokeFn<K>) {
+        if self.invoke.set(f).is_err() {
+            panic!("invoke already set for node {}", self.name);
+        }
+    }
+
+    /// Install a streaming reducer on terminal `t`.
+    pub fn set_reducer(&self, t: usize, spec: ReducerSpec) {
+        *self.reducers[t].write() = Some(spec);
+    }
+
+    /// Replace the keymap.
+    pub fn set_keymap(&self, f: KeyMapFn<K>) {
+        *self.keymap.write() = f;
+    }
+
+    /// Install a priority map.
+    pub fn set_priomap(&self, f: PrioMapFn<K>) {
+        *self.priomap.write() = Some(f);
+    }
+
+    /// Install a cost model for trace-based projection.
+    pub fn set_costmap(&self, f: CostMapFn<K>) {
+        *self.costmap.write() = Some(f);
+    }
+
+    /// Rank owning task `k` (bounded by the fabric size).
+    pub fn owner(&self, k: &K, n_ranks: usize) -> usize {
+        (self.keymap.read())(k) % n_ranks
+    }
+
+    /// Per-terminal vtable.
+    pub fn meta(&self, t: usize) -> &InputMeta {
+        &self.metas[t]
+    }
+
+    fn table(&self, rank: usize) -> &Mutex<HashMap<K, PendingE>> {
+        &self.tables.get().expect("node not attached")[rank]
+    }
+
+    /// Insert a value for `(k, terminal)` into rank `rank`'s table,
+    /// launching the task if this completes all inputs.
+    pub fn insert(
+        &self,
+        rank: usize,
+        terminal: usize,
+        k: K,
+        val: ErasedVal,
+        dep: Dep,
+        ctx: &Arc<RuntimeCtx>,
+    ) {
+        debug_assert_eq!(self.owner(&k, ctx.n_ranks()), rank, "misrouted message");
+        let ready = {
+            let mut table = self.table(rank).lock();
+            let entry = table
+                .entry(k.clone())
+                .or_insert_with(|| PendingE::new(self.n_inputs));
+            entry.deps.push(dep);
+            let reducer = self.reducers[terminal].read().clone();
+            let slot = &mut entry.slots[terminal];
+            match slot {
+                SlotE::Empty => match &reducer {
+                    Some(spec) => {
+                        *slot = SlotE::Stream {
+                            acc: Some((spec.init)(val)),
+                            received: 1,
+                            expected: spec.default_size,
+                            finalized: false,
+                        };
+                    }
+                    None => *slot = SlotE::Plain(val),
+                },
+                SlotE::Plain(_) => panic!(
+                    "duplicate input on terminal {} of {} for key {:?} (no reducer installed)",
+                    terminal, self.name, k
+                ),
+                SlotE::Stream {
+                    acc,
+                    received,
+                    expected,
+                    finalized,
+                } => {
+                    assert!(
+                        !*finalized && expected.map_or(true, |e| *received < e),
+                        "stream overrun on terminal {} of {} for key {:?}",
+                        terminal,
+                        self.name,
+                        k
+                    );
+                    let spec = reducer.expect("stream slot without reducer");
+                    match acc {
+                        Some(a) => (spec.op)(a, val),
+                        None => *acc = Some((spec.init)(val)),
+                    }
+                    *received += 1;
+                }
+            }
+            if entry.all_complete() {
+                let entry = table.remove(&k).unwrap();
+                Some(entry)
+            } else {
+                None
+            }
+        };
+        if let Some(entry) = ready {
+            self.launch(rank, k, entry, ctx);
+        }
+    }
+
+    /// Set the expected stream length for `(k, terminal)`; may complete the
+    /// task if the stream already received that many messages.
+    pub fn set_stream_size(
+        &self,
+        rank: usize,
+        terminal: usize,
+        k: K,
+        n: usize,
+        ctx: &Arc<RuntimeCtx>,
+    ) {
+        let ready = {
+            let mut table = self.table(rank).lock();
+            let entry = table
+                .entry(k.clone())
+                .or_insert_with(|| PendingE::new(self.n_inputs));
+            let slot = &mut entry.slots[terminal];
+            match slot {
+                SlotE::Empty => {
+                    *slot = SlotE::Stream {
+                        acc: None,
+                        received: 0,
+                        expected: Some(n),
+                        finalized: false,
+                    };
+                }
+                SlotE::Stream {
+                    received, expected, ..
+                } => {
+                    assert!(
+                        *received <= n,
+                        "stream size {} below already-received {} on {} {:?}",
+                        n,
+                        received,
+                        self.name,
+                        k
+                    );
+                    *expected = Some(n);
+                }
+                SlotE::Plain(_) => {
+                    panic!("set_stream_size on non-streaming terminal of {}", self.name)
+                }
+            }
+            if entry.all_complete() {
+                Some(table.remove(&k).unwrap())
+            } else {
+                None
+            }
+        };
+        if let Some(entry) = ready {
+            self.launch(rank, k, entry, ctx);
+        }
+    }
+
+    /// Close an unbounded stream for `(k, terminal)` now.
+    pub fn finalize_stream(&self, rank: usize, terminal: usize, k: K, ctx: &Arc<RuntimeCtx>) {
+        let ready = {
+            let mut table = self.table(rank).lock();
+            let entry = match table.get_mut(&k) {
+                Some(e) => e,
+                None => panic!(
+                    "finalize on {} for unknown key {:?} (no messages received)",
+                    self.name, k
+                ),
+            };
+            match &mut entry.slots[terminal] {
+                SlotE::Stream { finalized, .. } => *finalized = true,
+                _ => panic!("finalize on non-streaming terminal of {}", self.name),
+            }
+            if entry.all_complete() {
+                Some(table.remove(&k).unwrap())
+            } else {
+                None
+            }
+        };
+        if let Some(entry) = ready {
+            self.launch(rank, k, entry, ctx);
+        }
+    }
+
+    fn launch(&self, rank: usize, k: K, entry: PendingE, ctx: &Arc<RuntimeCtx>) {
+        let invoke = Arc::clone(
+            self.invoke
+                .get()
+                .unwrap_or_else(|| panic!("node {} has no task body", self.name)),
+        );
+        let vals: Vec<ErasedVal> = entry
+            .slots
+            .into_iter()
+            .map(|s| match s {
+                SlotE::Plain(v) => v,
+                SlotE::Stream { acc: Some(a), .. } => ErasedVal::Owned(a),
+                SlotE::Stream { acc: None, .. } => panic!(
+                    "empty finalized stream on {} for key {:?}: no identity value",
+                    self.name, k
+                ),
+                SlotE::Empty => unreachable!("incomplete slot at launch"),
+            })
+            .collect();
+        let task_id = ctx.alloc_task_id();
+        let prio = if ctx.backend.honor_priorities {
+            self.priomap.read().as_ref().map_or(0, |f| f(&k))
+        } else {
+            0
+        };
+        let deps = entry.deps;
+        let costmap = self.costmap.read().clone();
+        let ctx2 = Arc::clone(ctx);
+        let node_id = self.id;
+        let name = self.name;
+        let executed = Arc::clone(&self.executed);
+        ctx.pool(rank)
+            .submit(ttg_runtime::Job::with_priority(prio, move || {
+                let t0 = Instant::now();
+                invoke(k.clone(), vals, task_id, rank, &ctx2);
+                let measured_ns = t0.elapsed().as_nanos() as u64;
+                executed.fetch_add(1, Ordering::Relaxed);
+                if let Some(tr) = &ctx2.trace {
+                    let cost_ns = costmap.as_ref().map_or(measured_ns, |f| f(&k));
+                    tr.record(TaskEvent {
+                        id: task_id,
+                        node: node_id,
+                        name,
+                        rank,
+                        cost_ns,
+                        priority: prio,
+                        deps,
+                    });
+                }
+            }));
+    }
+}
+
+impl<K: Key> AnyNode for NodeInner<K> {
+    fn attach(&self, n_ranks: usize) {
+        let tables = (0..n_ranks).map(|_| Mutex::new(HashMap::new())).collect();
+        if self.tables.set(tables).is_err() {
+            panic!("node {} attached twice", self.name);
+        }
+    }
+
+    fn deliver_am(
+        &self,
+        rank: usize,
+        payload: &[u8],
+        ctx: &Arc<RuntimeCtx>,
+    ) -> Result<(), WireError> {
+        let mut r = ReadBuf::new(payload);
+        let from_task = r.get_u64()?;
+        let msg_type = r.get_u8()?;
+        let terminal = r.get_u16()? as usize;
+        match msg_type {
+            MSG_DATA_INLINE => {
+                let src_rank = r.get_u64()? as usize;
+                let nkeys = r.get_u32()? as usize;
+                let mut keys = Vec::with_capacity(nkeys);
+                for _ in 0..nkeys {
+                    keys.push(K::decode(&mut r)?);
+                }
+                let bytes = r.remaining() as u64;
+                let meta = self.meta(terminal);
+                let first = (meta.decode)(&mut r)?;
+                let msg = ctx.alloc_task_id();
+                self.deliver_decoded(
+                    rank, terminal, keys, first, from_task, src_rank, bytes, msg, ctx,
+                );
+            }
+            MSG_DATA_SPLITMD => {
+                let src_rank = r.get_u64()? as usize;
+                let region = r.get_u64()?;
+                let owner = r.get_u64()? as usize;
+                let nkeys = r.get_u32()? as usize;
+                let mut keys = Vec::with_capacity(nkeys);
+                for _ in 0..nkeys {
+                    keys.push(K::decode(&mut r)?);
+                }
+                let md_bytes = r.remaining() as u64;
+                // Stage 2 of splitmd: one-sided fetch of the payload.
+                let data = ctx.fabric.rma_get(rank, owner, region);
+                let meta = self.meta(terminal);
+                let first = (meta.decode_splitmd)(&mut r, &data)?;
+                let bytes = md_bytes + data.len() as u64;
+                let msg = ctx.alloc_task_id();
+                self.deliver_decoded(
+                    rank, terminal, keys, first, from_task, src_rank, bytes, msg, ctx,
+                );
+            }
+            MSG_SET_SIZE => {
+                let k = K::decode(&mut r)?;
+                let n = r.get_u64()? as usize;
+                self.set_stream_size(rank, terminal, k, n, ctx);
+            }
+            MSG_FINALIZE => {
+                let k = K::decode(&mut r)?;
+                self.finalize_stream(rank, terminal, k, ctx);
+            }
+            t => return Err(WireError::new(format!("unknown AM type {}", t))),
+        }
+        Ok(())
+    }
+
+    fn node_id(&self) -> u32 {
+        self.id
+    }
+
+    fn node_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn tasks_executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    fn pending(&self) -> usize {
+        match self.tables.get() {
+            None => 0,
+            Some(ts) => ts.iter().map(|t| t.lock().len()).sum(),
+        }
+    }
+}
+
+impl<K: Key> NodeInner<K> {
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_decoded(
+        &self,
+        rank: usize,
+        terminal: usize,
+        keys: Vec<K>,
+        first: Box<dyn Any + Send>,
+        from_task: u64,
+        src_rank: usize,
+        bytes: u64,
+        msg: u64,
+        ctx: &Arc<RuntimeCtx>,
+    ) {
+        let meta = self.meta(terminal);
+        let n = keys.len();
+        let mut first = Some(first);
+        for (i, k) in keys.into_iter().enumerate() {
+            let val = if i + 1 == n {
+                first.take().unwrap()
+            } else {
+                (meta.clone_boxed)(first.as_deref().unwrap())
+            };
+            // Every key records the full wire size, tagged with the shared
+            // transfer id: the projection simulates the AM once and lets
+            // all piggybacked consumers wait for the same arrival.
+            let dep = Dep {
+                from_task,
+                bytes,
+                src_rank,
+                msg,
+            };
+            self.insert(rank, terminal, k, ErasedVal::Owned(val), dep, ctx);
+        }
+    }
+}
+
+/// Helper: encode the common AM header.
+pub fn am_header(b: &mut WriteBuf, from_task: u64, msg_type: u8, terminal: u16) {
+    b.put_u64(from_task);
+    b.put_u8(msg_type);
+    b.put_u16(terminal);
+}

@@ -1,0 +1,120 @@
+//! Task-body output interface (`ttg::send` / `ttg::broadcast`) and input
+//! terminal references for streaming control and seeding.
+
+use std::sync::{Arc, Weak};
+
+use crate::ctx::RuntimeCtx;
+use crate::edge::{ConsumerPort, PortImpl};
+use crate::node::NodeInner;
+use crate::tuples::TermAt;
+use crate::types::{Data, Key};
+
+/// The tuple of output terminals handed to a task body.
+///
+/// `outs.send::<I>(key, value)` sends to output terminal `I`
+/// (`ttg::send`), `outs.broadcast::<I>(&keys, value)` sends one value to
+/// many task IDs (`ttg::broadcast`, Fig. 2b). The terminal index is checked
+/// at compile time against the output edges given to `make_tt`.
+pub struct Outs<'a, T> {
+    terms: &'a T,
+    task_id: u64,
+    rank: usize,
+    ctx: &'a Arc<RuntimeCtx>,
+}
+
+impl<'a, T> Outs<'a, T> {
+    pub(crate) fn new(terms: &'a T, task_id: u64, rank: usize, ctx: &'a Arc<RuntimeCtx>) -> Self {
+        Outs {
+            terms,
+            task_id,
+            rank,
+            ctx,
+        }
+    }
+
+    /// Send `v` to task `k` on output terminal `I`.
+    pub fn send<const I: usize>(&self, k: <T as TermAt<I>>::K, v: <T as TermAt<I>>::V)
+    where
+        T: TermAt<I>,
+    {
+        self.terms
+            .at()
+            .send_one(k, v, self.task_id, self.rank, self.ctx);
+    }
+
+    /// Send one copy of `v` to every task in `keys` on output terminal `I`.
+    pub fn broadcast<const I: usize>(&self, keys: &[<T as TermAt<I>>::K], v: <T as TermAt<I>>::V)
+    where
+        T: TermAt<I>,
+    {
+        self.terms
+            .at()
+            .broadcast_keys(keys, v, self.task_id, self.rank, self.ctx);
+    }
+
+    /// Rank this task is executing on.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the execution.
+    pub fn n_ranks(&self) -> usize {
+        self.ctx.n_ranks()
+    }
+
+    /// Unique id of the executing task instance.
+    pub fn task_id(&self) -> u64 {
+        self.task_id
+    }
+
+    /// Runtime context (advanced use: stream control via [`InRef`]).
+    pub fn ctx(&self) -> &Arc<RuntimeCtx> {
+        self.ctx
+    }
+}
+
+/// A reference to one input terminal of a template task.
+///
+/// Used to inject seed messages from outside the graph and to control
+/// streaming terminals (per-key stream sizes, finalization) from within
+/// task bodies — the TTG `tt->in<i>()` idiom.
+pub struct InRef<K: Key, V: Data> {
+    port: Arc<PortImpl<K, V>>,
+}
+
+impl<K: Key, V: Data> Clone for InRef<K, V> {
+    fn clone(&self) -> Self {
+        InRef {
+            port: Arc::clone(&self.port),
+        }
+    }
+}
+
+impl<K: Key, V: Data> InRef<K, V> {
+    pub(crate) fn new(node: Weak<NodeInner<K>>, terminal: u16) -> Self {
+        InRef {
+            port: Arc::new(PortImpl::new(node, terminal)),
+        }
+    }
+
+    /// Inject a seed message from outside the graph (no provenance).
+    pub fn seed(&self, ctx: &Arc<RuntimeCtx>, k: K, v: V) {
+        self.port.seed(k, v, ctx);
+    }
+
+    /// Set the expected stream size for key `k` from within a task.
+    pub fn set_size<T>(&self, outs: &Outs<'_, T>, k: &K, n: usize) {
+        self.port.set_stream_size(k, n, outs.rank(), outs.ctx());
+    }
+
+    /// Set the expected stream size for key `k` from outside the graph.
+    /// Delivered through the owner's communication thread.
+    pub fn set_size_external(&self, ctx: &Arc<RuntimeCtx>, k: &K, n: usize) {
+        self.port.set_stream_size(k, n, usize::MAX, ctx);
+    }
+
+    /// Finalize an unbounded stream for key `k` from within a task.
+    pub fn finalize<T>(&self, outs: &Outs<'_, T>, k: &K) {
+        self.port.finalize(k, outs.rank(), outs.ctx());
+    }
+}

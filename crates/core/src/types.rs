@@ -1,0 +1,135 @@
+//! Fundamental type vocabulary of the TTG model: task-ID keys, flowing data,
+//! the pure-control type [`Ctl`], and the internal erased value
+//! representation used by the transport layer.
+
+use std::any::Any;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use ttg_comm::{ReadBuf, Wire, WireError, WriteBuf};
+
+/// A task identifier ("task ID" in the paper): the control part of every
+/// message. `()` yields pure dataflow (a single task instance per template).
+pub trait Key: Clone + Eq + Hash + fmt::Debug + Wire + Send + Sync + 'static {}
+impl<T: Clone + Eq + Hash + fmt::Debug + Wire + Send + Sync + 'static> Key for T {}
+
+/// A value flowing along an edge: the data part of every message. Use
+/// [`Ctl`] for pure control flow.
+pub trait Data: Clone + Wire + Send + Sync + 'static {}
+impl<T: Clone + Wire + Send + Sync + 'static> Data for T {}
+
+/// Zero-sized "no data" token: a message whose data part is void, giving
+/// pure control flow (paper §II).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ctl;
+
+impl Wire for Ctl {
+    const KIND: ttg_comm::WireKind = ttg_comm::WireKind::Trivial;
+    fn encode(&self, _b: &mut WriteBuf) {}
+    fn decode(_r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
+        Ok(Ctl)
+    }
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+/// How a backend passes data between tasks on the same rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalPass {
+    /// Share immutable data behind an `Arc`; a private copy is made only if
+    /// a mutating consumer coexists with other consumers (PaRSEC-like: the
+    /// runtime owns the data and tracks its life-cycle).
+    Share,
+    /// Deep-copy the value for every consumer (MADNESS-like).
+    Copy,
+}
+
+/// Type-erased value travelling to an input terminal.
+pub enum ErasedVal {
+    /// Shared immutable handle (may be held by several pending inputs).
+    Shared(Arc<dyn Any + Send + Sync>),
+    /// Exclusively owned value.
+    Owned(Box<dyn Any + Send>),
+}
+
+impl ErasedVal {
+    /// Recover the concrete value, cloning only when the handle is still
+    /// shared with other consumers. Returns `None` on a type mismatch
+    /// (which indicates graph-construction bug and is asserted upstream).
+    pub fn take<V: Data>(self) -> Option<(V, bool)> {
+        match self {
+            ErasedVal::Owned(b) => b.downcast::<V>().ok().map(|v| (*v, false)),
+            ErasedVal::Shared(arc) => {
+                let arc = arc.downcast::<V>().ok()?;
+                match Arc::try_unwrap(arc) {
+                    Ok(v) => Some((v, false)),
+                    Err(arc) => Some(((*arc).clone(), true)),
+                }
+            }
+        }
+    }
+
+    /// Convert into an owned boxed value (cloning if shared), for use as a
+    /// reduction accumulator.
+    pub fn into_owned<V: Data>(self) -> Option<(Box<dyn Any + Send>, bool)> {
+        let (v, copied) = self.take::<V>()?;
+        Some((Box::new(v), copied))
+    }
+}
+
+impl fmt::Debug for ErasedVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErasedVal::Shared(_) => write!(f, "ErasedVal::Shared(..)"),
+            ErasedVal::Owned(_) => write!(f, "ErasedVal::Owned(..)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctl_is_zero_bytes() {
+        assert_eq!(ttg_comm::to_bytes(&Ctl).len(), 0);
+        let c: Ctl = ttg_comm::from_bytes(&[]).unwrap();
+        assert_eq!(c, Ctl);
+    }
+
+    #[test]
+    fn erased_owned_roundtrip() {
+        let ev = ErasedVal::Owned(Box::new(41i64));
+        let (v, copied) = ev.take::<i64>().unwrap();
+        assert_eq!(v, 41);
+        assert!(!copied);
+    }
+
+    #[test]
+    fn erased_shared_unique_moves_without_copy() {
+        let ev = ErasedVal::Shared(Arc::new(String::from("x")));
+        let (v, copied) = ev.take::<String>().unwrap();
+        assert_eq!(v, "x");
+        assert!(!copied);
+    }
+
+    #[test]
+    fn erased_shared_multi_copy_on_take() {
+        let arc: Arc<dyn Any + Send + Sync> = Arc::new(7u32);
+        let ev1 = ErasedVal::Shared(Arc::clone(&arc));
+        let ev2 = ErasedVal::Shared(arc);
+        let (v1, copied1) = ev1.take::<u32>().unwrap();
+        assert!(copied1); // still shared with ev2
+        let (v2, copied2) = ev2.take::<u32>().unwrap();
+        assert!(!copied2); // now unique
+        assert_eq!((v1, v2), (7, 7));
+    }
+
+    #[test]
+    fn erased_type_mismatch_is_none() {
+        let ev = ErasedVal::Owned(Box::new(1u8));
+        assert!(ev.take::<u16>().is_none());
+    }
+}

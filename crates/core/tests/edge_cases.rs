@@ -1,0 +1,208 @@
+//! Edge-case and failure-mode tests of the core model.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ttg_core::prelude::*;
+
+fn backend() -> BackendSpec {
+    BackendSpec::default_spec()
+}
+
+#[test]
+fn empty_graph_finishes_immediately() {
+    let g = GraphBuilder::new().build();
+    let exec = Executor::new(g, ExecConfig::distributed(2, 1, backend()));
+    let report = exec.finish();
+    assert_eq!(report.tasks, 0);
+    assert_eq!(report.comm.am_count, 0);
+}
+
+#[test]
+fn unseeded_graph_finishes_with_no_tasks() {
+    let e: Edge<u32, u64> = Edge::new("e");
+    let mut g = GraphBuilder::new();
+    let _tt = g.make_tt("idle", (e,), (), |_| 0usize, |_, (_x,): (u64,), _| {});
+    let exec = Executor::new(g.build(), ExecConfig::local(2));
+    let report = exec.finish();
+    assert_eq!(report.tasks, 0);
+}
+
+#[test]
+fn partial_inputs_never_fire() {
+    // A two-input join that only ever receives one input: the execution
+    // quiesces with the pending entry parked (TTG semantics).
+    let a: Edge<u32, u64> = Edge::new("a");
+    let b: Edge<u32, u64> = Edge::new("b");
+    let fired = Arc::new(AtomicU64::new(0));
+    let f2 = Arc::clone(&fired);
+    let mut g = GraphBuilder::new();
+    let join = g.make_tt(
+        "join",
+        (a, b),
+        (),
+        |_| 0usize,
+        move |_, (_x, _y): (u64, u64), _| {
+            f2.fetch_add(1, Ordering::SeqCst);
+        },
+    );
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    join.in_ref::<0>().seed(exec.ctx(), 7, 1);
+    let report = exec.finish();
+    assert_eq!(fired.load(Ordering::SeqCst), 0);
+    assert_eq!(report.tasks, 0);
+}
+
+#[test]
+#[should_panic(expected = "duplicate input")]
+fn duplicate_input_without_reducer_panics() {
+    let a: Edge<u32, u64> = Edge::new("a");
+    let b: Edge<u32, u64> = Edge::new("b");
+    let mut g = GraphBuilder::new();
+    let join = g.make_tt(
+        "join",
+        (a, b),
+        (),
+        |_| 0usize,
+        |_, (_x, _y): (u64, u64), _| {},
+    );
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    // Two messages on the same terminal for the same key, no reducer.
+    join.in_ref::<0>().seed(exec.ctx(), 7, 1);
+    join.in_ref::<0>().seed(exec.ctx(), 7, 2);
+    exec.finish();
+}
+
+#[test]
+fn broadcast_with_empty_key_list_is_a_noop() {
+    let start: Edge<u32, u64> = Edge::new("start");
+    let fan: Edge<u32, u64> = Edge::new("fan");
+    let mut g = GraphBuilder::new();
+    let src = g.make_tt(
+        "src",
+        (start,),
+        (fan.clone(),),
+        |_| 0usize,
+        |_, (x,): (u64,), outs| outs.broadcast::<0>(&[], x),
+    );
+    let _dst = g.make_tt("dst", (fan,), (), |_| 0usize, |_, (_x,): (u64,), _| {});
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    src.in_ref::<0>().seed(exec.ctx(), 0, 1);
+    let report = exec.finish();
+    assert_eq!(report.tasks, 1); // only the source ran
+}
+
+#[test]
+fn keymap_can_be_replaced_before_seeding() {
+    let e: Edge<u32, u64> = Edge::new("e");
+    let ran_on = Arc::new(AtomicU64::new(u64::MAX));
+    let r2 = Arc::clone(&ran_on);
+    let mut g = GraphBuilder::new();
+    let tt = g.make_tt(
+        "probe",
+        (e,),
+        (),
+        |_| 0usize,
+        move |_, (_x,): (u64,), outs| {
+            r2.store(outs.rank() as u64, Ordering::SeqCst);
+        },
+    );
+    tt.set_keymap(|_| 2usize);
+    let exec = Executor::new(g.build(), ExecConfig::distributed(4, 1, backend()));
+    tt.in_ref::<0>().seed(exec.ctx(), 0, 1);
+    exec.finish();
+    assert_eq!(ran_on.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn keymap_larger_than_ranks_wraps() {
+    let e: Edge<u32, u64> = Edge::new("e");
+    let ran_on = Arc::new(AtomicU64::new(u64::MAX));
+    let r2 = Arc::clone(&ran_on);
+    let mut g = GraphBuilder::new();
+    let tt = g.make_tt(
+        "probe",
+        (e,),
+        (),
+        |_| 7usize, // only 2 ranks exist
+        move |_, (_x,): (u64,), outs| {
+            r2.store(outs.rank() as u64, Ordering::SeqCst);
+        },
+    );
+    let exec = Executor::new(g.build(), ExecConfig::distributed(2, 1, backend()));
+    tt.in_ref::<0>().seed(exec.ctx(), 0, 1);
+    exec.finish();
+    assert_eq!(ran_on.load(Ordering::SeqCst), 7 % 2);
+}
+
+#[test]
+fn stream_size_one_fires_per_message() {
+    let e: Edge<u32, u64> = Edge::new("e");
+    let count = Arc::new(AtomicU64::new(0));
+    let c2 = Arc::clone(&count);
+    let mut g = GraphBuilder::new();
+    let tt = g.make_tt(
+        "each",
+        (e,),
+        (),
+        |_| 0usize,
+        move |_, (_x,): (u64,), _| {
+            c2.fetch_add(1, Ordering::SeqCst);
+        },
+    );
+    tt.set_input_reducer::<0>(|a, b| *a += b, Some(1));
+    let exec = Executor::new(g.build(), ExecConfig::local(2));
+    for i in 0..5 {
+        // Distinct keys: each stream of size 1 completes immediately.
+        tt.in_ref::<0>().seed(exec.ctx(), i, 1);
+    }
+    let report = exec.finish();
+    assert_eq!(count.load(Ordering::SeqCst), 5);
+    assert_eq!(report.tasks, 5);
+}
+
+#[test]
+fn many_ranks_few_keys() {
+    // More ranks than work: most pools idle; must still terminate quickly.
+    let e: Edge<u32, u64> = Edge::new("e");
+    let mut g = GraphBuilder::new();
+    let tt = g.make_tt("one", (e,), (), |k: &u32| *k as usize, |_, (_x,): (u64,), _| {});
+    let exec = Executor::new(g.build(), ExecConfig::distributed(16, 1, backend()));
+    tt.in_ref::<0>().seed(exec.ctx(), 3, 1);
+    let report = exec.finish();
+    assert_eq!(report.tasks, 1);
+}
+
+#[test]
+fn deep_recursion_through_graph() {
+    // A 10_000-step chain exercises matching-table churn and quiescence.
+    let e: Edge<u64, u64> = Edge::new("chain");
+    let mut g = GraphBuilder::new();
+    let tt = g.make_tt(
+        "step",
+        (e.clone(),),
+        (e.clone(),),
+        |k: &u64| (*k % 2) as usize,
+        |k, (x,): (u64,), outs| {
+            if *k < 10_000 {
+                outs.send::<0>(*k + 1, x + 1);
+            }
+        },
+    );
+    let exec = Executor::new(g.build(), ExecConfig::distributed(2, 1, backend()));
+    tt.in_ref::<0>().seed(exec.ctx(), 0, 0);
+    let report = exec.finish();
+    assert_eq!(report.tasks, 10_001);
+}
+
+#[test]
+fn report_elapsed_and_per_node_are_populated() {
+    let e: Edge<u32, u64> = Edge::new("e");
+    let mut g = GraphBuilder::new();
+    let tt = g.make_tt("work", (e,), (), |_| 0usize, |_, (_x,): (u64,), _| {});
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    tt.in_ref::<0>().seed(exec.ctx(), 0, 1);
+    let report = exec.finish();
+    assert!(report.elapsed.as_nanos() > 0);
+    assert_eq!(report.per_node, vec![("work", 1)]);
+}

@@ -1,0 +1,323 @@
+//! Sequential BLAS/LAPACK-like tile kernels: the four operations of tiled
+//! Cholesky (POTRF, TRSM, SYRK, GEMM) plus general matrix multiply.
+//!
+//! These replace the MKL kernels of the paper's testbeds. Loop orders are
+//! chosen for column-major unit-stride inner loops; correctness is verified
+//! against naive references and reconstruction identities in the tests.
+
+use crate::tile::Tile;
+
+/// `C += alpha * A * B` (no transposes).
+pub fn gemm_nn(alpha: f64, a: &Tile, b: &Tile, c: &mut Tile) {
+    let (m, ka) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(ka, kb, "inner dimensions");
+    assert_eq!((c.rows(), c.cols()), (m, n), "output shape");
+    let ad = a.data();
+    let bd = b.data();
+    let cd = c.data_mut();
+    for j in 0..n {
+        for l in 0..ka {
+            let blj = alpha * bd[l + j * kb];
+            if blj == 0.0 {
+                continue;
+            }
+            let acol = &ad[l * m..(l + 1) * m];
+            let ccol = &mut cd[j * m..(j + 1) * m];
+            for i in 0..m {
+                ccol[i] += blj * acol[i];
+            }
+        }
+    }
+}
+
+/// `C += alpha * A * Bᵀ` — the GEMM variant of right-looking tiled Cholesky
+/// (`A_mn -= A_mk · A_nkᵀ` with `alpha = -1`).
+pub fn gemm_nt(alpha: f64, a: &Tile, b: &Tile, c: &mut Tile) {
+    let (m, ka) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(ka, kb, "inner dimensions");
+    assert_eq!((c.rows(), c.cols()), (m, n), "output shape");
+    let ad = a.data();
+    let bd = b.data();
+    let cd = c.data_mut();
+    for j in 0..n {
+        for l in 0..ka {
+            // B^T[l, j] = B[j, l]
+            let blj = alpha * bd[j + l * n];
+            if blj == 0.0 {
+                continue;
+            }
+            let acol = &ad[l * m..(l + 1) * m];
+            let ccol = &mut cd[j * m..(j + 1) * m];
+            for i in 0..m {
+                ccol[i] += blj * acol[i];
+            }
+        }
+    }
+}
+
+/// Symmetric rank-k update on the lower triangle:
+/// `C = C - A·Aᵀ` restricted to `i ≥ j` (tiled Cholesky SYRK).
+pub fn syrk_ln(a: &Tile, c: &mut Tile) {
+    let (n, k) = (a.rows(), a.cols());
+    assert_eq!((c.rows(), c.cols()), (n, n));
+    let ad = a.data();
+    for j in 0..n {
+        for l in 0..k {
+            let ajl = ad[j + l * n];
+            if ajl == 0.0 {
+                continue;
+            }
+            for i in j..n {
+                let v = ad[i + l * n] * ajl;
+                *c.index_mut_fast(i, j) -= v;
+            }
+        }
+    }
+}
+
+impl Tile {
+    #[inline]
+    pub(crate) fn index_mut_fast(&mut self, i: usize, j: usize) -> &mut f64 {
+        let r = self.rows();
+        &mut self.data_mut()[i + j * r]
+    }
+}
+
+/// Triangular solve `X · L_kkᵀ = A_mk` in place (`A_mk ← A_mk · L_kk⁻ᵀ`),
+/// with `L_kk` lower triangular — the TRSM of right-looking tiled Cholesky.
+pub fn trsm_rlt(l_kk: &Tile, a_mk: &mut Tile) {
+    let nb = l_kk.rows();
+    assert_eq!(l_kk.cols(), nb);
+    assert_eq!(a_mk.cols(), nb);
+    let m = a_mk.rows();
+    // Solve column by column: X[:, j] = (A[:, j] - Σ_{l<j} X[:, l]·L[j, l]) / L[j, j]
+    for j in 0..nb {
+        let ljj = l_kk.get(j, j);
+        assert!(ljj != 0.0, "singular triangular factor");
+        for l in 0..j {
+            let ljl = l_kk.get(j, l);
+            if ljl == 0.0 {
+                continue;
+            }
+            let (xcol_l, xcol_j) = {
+                // Two disjoint column views.
+                let data = a_mk.data_mut();
+                let (left, right) = data.split_at_mut(j * m);
+                (&left[l * m..(l + 1) * m], &mut right[..m])
+            };
+            for i in 0..m {
+                xcol_j[i] -= ljl * xcol_l[i];
+            }
+        }
+        let data = a_mk.data_mut();
+        let xcol_j = &mut data[j * m..(j + 1) * m];
+        for x in xcol_j.iter_mut() {
+            *x /= ljj;
+        }
+    }
+}
+
+/// Cholesky factorization of an SPD tile: `A = L·Lᵀ`, lower triangle
+/// overwritten with `L`, strict upper triangle zeroed.
+///
+/// Returns `Err(j)` if the matrix is not positive definite at pivot `j`.
+pub fn potrf_l(a: &mut Tile) -> Result<(), usize> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "potrf needs a square tile");
+    for j in 0..n {
+        let mut d = a.get(j, j);
+        for l in 0..j {
+            let v = a.get(j, l);
+            d -= v * v;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(j);
+        }
+        let d = d.sqrt();
+        a.set(j, j, d);
+        for i in (j + 1)..n {
+            let mut v = a.get(i, j);
+            for l in 0..j {
+                v -= a.get(i, l) * a.get(j, l);
+            }
+            a.set(i, j, v / d);
+        }
+        // Zero the strict upper triangle for clean reconstruction.
+        for i in 0..j {
+            a.set(i, j, 0.0);
+        }
+    }
+    Ok(())
+}
+
+/// Min-plus "tropical" matrix product used by blocked Floyd–Warshall:
+/// `C[i,j] = min(C[i,j], A[i,k] + B[k,j])` over all `k`.
+pub fn minplus(a: &Tile, b: &Tile, c: &mut Tile) {
+    let (m, ka) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(ka, kb);
+    assert_eq!((c.rows(), c.cols()), (m, n));
+    let ad = a.data();
+    let bd = b.data();
+    let cd = c.data_mut();
+    for j in 0..n {
+        for l in 0..ka {
+            let blj = bd[l + j * kb];
+            if blj == f64::INFINITY {
+                continue;
+            }
+            let acol = &ad[l * m..(l + 1) * m];
+            let ccol = &mut cd[j * m..(j + 1) * m];
+            for i in 0..m {
+                let cand = acol[i] + blj;
+                if cand < ccol[i] {
+                    ccol[i] = cand;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_tile(rng: &mut impl Rng, rows: usize, cols: usize) -> Tile {
+        Tile::from_data(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    fn gemm_naive(alpha: f64, a: &Tile, b_t: bool, b: &Tile, c: &mut Tile) {
+        for i in 0..c.rows() {
+            for j in 0..c.cols() {
+                let k = a.cols();
+                let mut s = 0.0;
+                for l in 0..k {
+                    let bv = if b_t { b.get(j, l) } else { b.get(l, j) };
+                    s += a.get(i, l) * bv;
+                }
+                *c.index_mut_fast(i, j) += alpha * s;
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nn_matches_naive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = random_tile(&mut rng, 7, 5);
+        let b = random_tile(&mut rng, 5, 6);
+        let mut c1 = random_tile(&mut rng, 7, 6);
+        let mut c2 = c1.clone();
+        gemm_nn(2.5, &a, &b, &mut c1);
+        gemm_naive(2.5, &a, false, &b, &mut c2);
+        assert!(c1.max_abs_diff(&c2) < 1e-12);
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = random_tile(&mut rng, 4, 8);
+        let b = random_tile(&mut rng, 6, 8);
+        let mut c1 = random_tile(&mut rng, 4, 6);
+        let mut c2 = c1.clone();
+        gemm_nt(-1.0, &a, &b, &mut c1);
+        gemm_naive(-1.0, &a, true, &b, &mut c2);
+        assert!(c1.max_abs_diff(&c2) < 1e-12);
+    }
+
+    #[test]
+    fn syrk_updates_lower_triangle_only() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = random_tile(&mut rng, 5, 3);
+        let mut c = Tile::zeros(5, 5);
+        // Poison upper triangle to verify it is untouched.
+        for j in 0..5 {
+            for i in 0..j {
+                c.set(i, j, 99.0);
+            }
+        }
+        syrk_ln(&a, &mut c);
+        for j in 0..5 {
+            for i in 0..5 {
+                if i < j {
+                    assert_eq!(c.get(i, j), 99.0);
+                } else {
+                    let mut s = 0.0;
+                    for l in 0..3 {
+                        s += a.get(i, l) * a.get(j, l);
+                    }
+                    assert!((c.get(i, j) + s).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    fn spd_tile(rng: &mut impl Rng, n: usize) -> Tile {
+        // A = B·Bᵀ + n·I is SPD.
+        let b = random_tile(rng, n, n);
+        let mut a = Tile::zeros(n, n);
+        gemm_nt(1.0, &b, &b, &mut a);
+        for i in 0..n {
+            let v = a.get(i, i);
+            a.set(i, i, v + n as f64);
+        }
+        a
+    }
+
+    #[test]
+    fn potrf_reconstructs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let a = spd_tile(&mut rng, 16);
+        let mut l = a.clone();
+        potrf_l(&mut l).expect("SPD");
+        // L·Lᵀ must reproduce A (full matrix: A was symmetric).
+        let mut rec = Tile::zeros(16, 16);
+        gemm_nt(1.0, &l, &l, &mut rec);
+        assert!(rec.max_abs_diff(&a) < 1e-9, "diff {}", rec.max_abs_diff(&a));
+    }
+
+    #[test]
+    fn potrf_rejects_indefinite() {
+        let mut t = Tile::identity(3);
+        t.set(1, 1, -1.0);
+        assert_eq!(potrf_l(&mut t), Err(1));
+    }
+
+    #[test]
+    fn trsm_solves_triangular_system() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut l = spd_tile(&mut rng, 6);
+        potrf_l(&mut l).unwrap();
+        let x_true = random_tile(&mut rng, 4, 6);
+        // A = X_true · Lᵀ, then TRSM must recover X_true.
+        let mut a = Tile::zeros(4, 6);
+        gemm_nt(1.0, &x_true, &l, &mut a);
+        trsm_rlt(&l, &mut a);
+        assert!(a.max_abs_diff(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn minplus_relaxes_paths() {
+        // 3-node path 0→1→2 beats the direct 0→2 edge.
+        let inf = f64::INFINITY;
+        let a = Tile::from_data(3, 3, vec![0.0, inf, inf, 1.0, 0.0, inf, 10.0, 1.0, 0.0]);
+        let mut c = a.clone();
+        minplus(&a, &a, &mut c);
+        assert_eq!(c.get(0, 2), 2.0); // through node 1
+        assert_eq!(c.get(0, 1), 1.0);
+        assert_eq!(c.get(2, 0), inf); // no reverse edges
+    }
+
+    #[test]
+    fn minplus_handles_infinities() {
+        let inf = f64::INFINITY;
+        let a = Tile::from_data(2, 2, vec![0.0, inf, inf, 0.0]);
+        let mut c = a.clone();
+        minplus(&a, &a, &mut c);
+        assert_eq!(c.get(0, 1), inf);
+        assert_eq!(c.get(0, 0), 0.0);
+    }
+}

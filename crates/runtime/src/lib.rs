@@ -1,0 +1,20 @@
+//! # ttg-runtime — per-rank schedulers and termination detection
+//!
+//! The low-level task-execution machinery underneath the TTG model:
+//!
+//! * [`pool`] — worker pools with the two scheduling disciplines of the
+//!   paper's backends (work-stealing + priority heap vs. central queue);
+//! * [`quiesce`] — the shared-counter global quiescence detector used by
+//!   executors to implement `wait()`;
+//! * [`safra`] — Safra's token-ring termination detection, the faithful
+//!   distributed-memory algorithm.
+
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod quiesce;
+pub mod safra;
+
+pub use pool::{Job, SchedulerKind, WorkerPool};
+pub use quiesce::Quiescence;
+pub use safra::{Color, SafraRank, SafraRing, Token};

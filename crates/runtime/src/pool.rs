@@ -1,0 +1,378 @@
+//! Per-rank task scheduler.
+//!
+//! Two scheduler flavors mirror the two backends of the paper:
+//!
+//! * [`SchedulerKind::WorkStealing`] — each worker owns a deque; overflow and
+//!   external submissions go through a shared injector; idle workers steal
+//!   (the PaRSEC-like configuration). Tasks with non-zero priority are kept
+//!   in a shared priority heap that workers drain first, so priority-map
+//!   hints shorten the critical path (paper §II, priority feature).
+//! * [`SchedulerKind::Central`] — one global FIFO protected by a lock (the
+//!   MADNESS-like configuration: simpler, more contention, no stealing,
+//!   priorities ignored).
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+
+use crate::quiesce::Quiescence;
+
+/// Scheduling discipline for a [`WorkerPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Per-worker deques + injector + stealing; priority heap honored.
+    WorkStealing,
+    /// Single central FIFO queue; priorities ignored.
+    Central,
+}
+
+/// A schedulable unit of work.
+pub struct Job {
+    /// Larger runs earlier (only in work-stealing pools).
+    pub priority: i32,
+    f: Box<dyn FnOnce() + Send + 'static>,
+}
+
+impl Job {
+    /// Create a job with priority 0.
+    pub fn new(f: impl FnOnce() + Send + 'static) -> Self {
+        Job {
+            priority: 0,
+            f: Box::new(f),
+        }
+    }
+
+    /// Create a job with an explicit priority.
+    pub fn with_priority(priority: i32, f: impl FnOnce() + Send + 'static) -> Self {
+        Job {
+            priority,
+            f: Box::new(f),
+        }
+    }
+}
+
+struct PrioJob {
+    priority: i32,
+    seq: u64,
+    job: Job,
+}
+
+impl PartialEq for PrioJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for PrioJob {}
+impl PartialOrd for PrioJob {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PrioJob {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Max-heap on priority; FIFO (min seq) among equal priorities.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    prio: Mutex<BinaryHeap<PrioJob>>,
+    central: Mutex<VecDeque<Job>>,
+    kind: SchedulerKind,
+    shutdown: AtomicBool,
+    seq: AtomicU64,
+    executed: AtomicU64,
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    quiescence: Arc<Quiescence>,
+}
+
+impl Shared {
+    fn find_job(&self, local: &Worker<Job>) -> Option<Job> {
+        match self.kind {
+            SchedulerKind::Central => self.central.lock().pop_front(),
+            SchedulerKind::WorkStealing => {
+                // Priority heap first: critical-path tasks preempt FIFO work.
+                {
+                    let mut heap = self.prio.lock();
+                    if let Some(pj) = heap.pop() {
+                        return Some(pj.job);
+                    }
+                }
+                if let Some(job) = local.pop() {
+                    return Some(job);
+                }
+                // Refill from the injector, then steal from peers.
+                loop {
+                    match self.injector.steal_batch_and_pop(local) {
+                        crossbeam_deque::Steal::Success(job) => return Some(job),
+                        crossbeam_deque::Steal::Retry => continue,
+                        crossbeam_deque::Steal::Empty => break,
+                    }
+                }
+                for stealer in &self.stealers {
+                    loop {
+                        match stealer.steal() {
+                            crossbeam_deque::Steal::Success(job) => return Some(job),
+                            crossbeam_deque::Steal::Retry => continue,
+                            crossbeam_deque::Steal::Empty => break,
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+/// A pool of worker threads executing [`Job`]s for one logical rank.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads with the given scheduling discipline.
+    ///
+    /// Every submitted job is tracked in `quiescence` from submission until
+    /// it finishes executing.
+    pub fn new(
+        workers: usize,
+        kind: SchedulerKind,
+        quiescence: Arc<Quiescence>,
+        name: &str,
+    ) -> Self {
+        assert!(workers > 0, "pool needs at least one worker");
+        let locals: Vec<Worker<Job>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+        let stealers = locals.iter().map(|w| w.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            prio: Mutex::new(BinaryHeap::new()),
+            central: Mutex::new(VecDeque::new()),
+            kind,
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            quiescence,
+        });
+        let mut threads = Vec::with_capacity(workers);
+        for (i, local) in locals.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let tname = format!("{name}-w{i}");
+            threads.push(
+                std::thread::Builder::new()
+                    .name(tname)
+                    .spawn(move || worker_loop(shared, local))
+                    .expect("failed to spawn worker"),
+            );
+        }
+        WorkerPool { shared, threads: Mutex::new(threads) }
+    }
+
+    /// Submit a job for execution.
+    pub fn submit(&self, job: Job) {
+        self.shared.quiescence.activity_started();
+        match self.shared.kind {
+            SchedulerKind::Central => self.shared.central.lock().push_back(job),
+            SchedulerKind::WorkStealing => {
+                if job.priority != 0 {
+                    let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+                    self.shared.prio.lock().push(PrioJob {
+                        priority: job.priority,
+                        seq,
+                        job,
+                    });
+                } else {
+                    self.shared.injector.push(job);
+                }
+            }
+        }
+        self.shared.wake.notify_one();
+    }
+
+    /// Total jobs executed so far.
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting progress and join all workers. Pending jobs are
+    /// dropped (their quiescence units are released). Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        for t in self.threads.lock().drain(..) {
+            t.join().expect("worker panicked");
+        }
+        // Release quiescence units of jobs that never ran.
+        loop {
+            let job = match self.shared.kind {
+                SchedulerKind::Central => self.shared.central.lock().pop_front(),
+                SchedulerKind::WorkStealing => {
+                    let heaped = self.shared.prio.lock().pop().map(|p| p.job);
+                    heaped.or_else(|| match self.shared.injector.steal() {
+                        crossbeam_deque::Steal::Success(j) => Some(j),
+                        _ => None,
+                    })
+                }
+            };
+            match job {
+                Some(_) => self.shared.quiescence.activity_finished(),
+                None => break,
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, local: Worker<Job>) {
+    loop {
+        if let Some(job) = shared.find_job(&local) {
+            (job.f)();
+            shared.executed.fetch_add(1, Ordering::Relaxed);
+            shared.quiescence.activity_finished();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Nothing found: sleep until a submit or shutdown, with a timeout as
+        // a safety net against missed wakeups across the steal race.
+        let mut guard = shared.sleep_lock.lock();
+        shared
+            .wake
+            .wait_for(&mut guard, Duration::from_millis(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn run_pool(kind: SchedulerKind, workers: usize, jobs: usize) {
+        let q = Arc::new(Quiescence::new());
+        let pool = WorkerPool::new(workers, kind, Arc::clone(&q), "test");
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..jobs {
+            let c = Arc::clone(&counter);
+            pool.submit(Job::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        q.wait_quiescent();
+        assert_eq!(counter.load(Ordering::SeqCst), jobs);
+        assert_eq!(pool.executed(), jobs as u64);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn work_stealing_runs_all_jobs() {
+        run_pool(SchedulerKind::WorkStealing, 4, 1000);
+    }
+
+    #[test]
+    fn central_runs_all_jobs() {
+        run_pool(SchedulerKind::Central, 4, 1000);
+    }
+
+    #[test]
+    fn single_worker() {
+        run_pool(SchedulerKind::WorkStealing, 1, 100);
+    }
+
+    #[test]
+    fn jobs_can_spawn_jobs() {
+        let q = Arc::new(Quiescence::new());
+        let pool = Arc::new(WorkerPool::new(
+            2,
+            SchedulerKind::WorkStealing,
+            Arc::clone(&q),
+            "spawn",
+        ));
+        let counter = Arc::new(AtomicUsize::new(0));
+        // Binary recursion: each job below depth 6 spawns two children.
+        fn recurse(pool: &Arc<WorkerPool>, counter: &Arc<AtomicUsize>, depth: usize) {
+            counter.fetch_add(1, Ordering::SeqCst);
+            if depth < 6 {
+                for _ in 0..2 {
+                    let p = Arc::clone(pool);
+                    let c = Arc::clone(counter);
+                    pool.submit(Job::new(move || recurse(&p, &c, depth + 1)));
+                }
+            }
+        }
+        let p = Arc::clone(&pool);
+        let c = Arc::clone(&counter);
+        pool.submit(Job::new(move || recurse(&p, &c, 0)));
+        q.wait_quiescent();
+        assert_eq!(counter.load(Ordering::SeqCst), (1 << 7) - 1);
+        match Arc::try_unwrap(pool) {
+            Ok(p) => p.shutdown(),
+            Err(_) => panic!("pool still referenced"),
+        }
+    }
+
+    #[test]
+    fn priorities_run_first_when_single_worker() {
+        // Saturate the single worker with a blocker, then enqueue a low and
+        // a high priority job; the high one must execute first.
+        let q = Arc::new(Quiescence::new());
+        let pool = WorkerPool::new(1, SchedulerKind::WorkStealing, Arc::clone(&q), "prio");
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new(AtomicBool::new(false));
+
+        let g = Arc::clone(&gate);
+        pool.submit(Job::new(move || {
+            while !g.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_micros(10));
+            }
+        }));
+        // Give the blocker time to start.
+        std::thread::sleep(Duration::from_millis(10));
+
+        for (prio, tag) in [(1, "low"), (10, "high"), (5, "mid")] {
+            let o = Arc::clone(&order);
+            pool.submit(Job::with_priority(prio, move || {
+                o.lock().push(tag);
+            }));
+        }
+        gate.store(true, Ordering::SeqCst);
+        q.wait_quiescent();
+        assert_eq!(*order.lock(), vec!["high", "mid", "low"]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_releases_pending_quiescence_units() {
+        let q = Arc::new(Quiescence::new());
+        let pool = WorkerPool::new(1, SchedulerKind::Central, Arc::clone(&q), "drop");
+        // Block the worker, then enqueue jobs that will never run.
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        pool.submit(Job::new(move || {
+            while !g.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_micros(10));
+            }
+        }));
+        std::thread::sleep(Duration::from_millis(5));
+        for _ in 0..3 {
+            pool.submit(Job::new(|| {}));
+        }
+        gate.store(true, Ordering::SeqCst);
+        // Let the blocker finish, then shut down racing with the queued jobs;
+        // whatever did not run must still be released.
+        pool.shutdown();
+        assert!(q.is_quiescent());
+    }
+}

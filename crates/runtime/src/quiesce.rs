@@ -1,0 +1,156 @@
+//! Global quiescence detection.
+//!
+//! A TTG execution terminates when no task is running or queued anywhere and
+//! no message is in flight — messages are the only way new tasks appear, so
+//! this state is stable. The paper relies on the backend runtimes' global
+//! termination detection; we provide two implementations:
+//!
+//! * [`Quiescence`] — an epoch-validated shared-counter detector used by the
+//!   executors (exact and cheap because our ranks share an address space);
+//! * [`safra`](crate::safra) — Safra's classic token-ring algorithm run over
+//!   the fabric, the faithful distributed-memory variant.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Epoch-validated activity counter.
+///
+/// `active` counts units of pending work (queued jobs, running jobs,
+/// unprocessed packets). `epoch` increments on every activity *start*, which
+/// lets a detector rule out the race where activity briefly reached zero and
+/// then resumed between two observations.
+#[derive(Debug, Default)]
+pub struct Quiescence {
+    active: AtomicU64,
+    epoch: AtomicU64,
+}
+
+impl Quiescence {
+    /// Create an idle tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the start of a unit of activity.
+    #[inline]
+    pub fn activity_started(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        self.active.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Record the end of a unit of activity.
+    #[inline]
+    pub fn activity_finished(&self) {
+        let prev = self.active.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "activity underflow");
+    }
+
+    /// Current number of active units.
+    pub fn active(&self) -> u64 {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Current epoch (total activity starts so far).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// One quiescence probe: returns `Some(epoch)` if no activity was
+    /// observable, to be confirmed by a second probe at the same epoch.
+    pub fn probe(&self) -> Option<u64> {
+        let e = self.epoch();
+        if self.active() == 0 {
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    /// Two-phase check: quiescent iff two consecutive probes observe zero
+    /// activity at the same epoch. Any activity started in between bumps the
+    /// epoch and invalidates the first probe.
+    pub fn is_quiescent(&self) -> bool {
+        match self.probe() {
+            None => false,
+            Some(e1) => match self.probe() {
+                Some(e2) => e1 == e2,
+                None => false,
+            },
+        }
+    }
+
+    /// Block (spinning with short sleeps) until quiescent.
+    pub fn wait_quiescent(&self) {
+        let mut spins = 0u32;
+        loop {
+            if self.is_quiescent() {
+                return;
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_quiescent() {
+        let q = Quiescence::new();
+        assert!(q.is_quiescent());
+        assert_eq!(q.active(), 0);
+    }
+
+    #[test]
+    fn activity_blocks_quiescence() {
+        let q = Quiescence::new();
+        q.activity_started();
+        assert!(!q.is_quiescent());
+        q.activity_finished();
+        assert!(q.is_quiescent());
+        assert_eq!(q.epoch(), 1);
+    }
+
+    #[test]
+    fn nested_activity() {
+        let q = Quiescence::new();
+        q.activity_started();
+        q.activity_started();
+        q.activity_finished();
+        assert!(!q.is_quiescent());
+        q.activity_finished();
+        assert!(q.is_quiescent());
+    }
+
+    #[test]
+    fn wait_quiescent_unblocks() {
+        let q = Arc::new(Quiescence::new());
+        q.activity_started();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q2.activity_finished();
+        });
+        q.wait_quiescent();
+        assert!(q.is_quiescent());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn epoch_detects_transient_wakeup() {
+        // Simulates the race the two-phase probe protects against.
+        let q = Quiescence::new();
+        let e1 = q.probe().unwrap();
+        q.activity_started();
+        q.activity_finished();
+        // Second probe sees zero activity but a different epoch.
+        let e2 = q.probe().unwrap();
+        assert_ne!(e1, e2);
+    }
+}

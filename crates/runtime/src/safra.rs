@@ -1,0 +1,273 @@
+//! Safra's token-ring termination detection.
+//!
+//! This is the faithful distributed-memory termination detector: no shared
+//! counters, only messages. Each rank keeps a message-count balance and a
+//! color; a token circulates the ring carrying an accumulated count and a
+//! color. Rank 0 announces termination when a white token returns with a
+//! zero total count while rank 0 itself is white and passive.
+//!
+//! The executor uses the cheaper shared-memory
+//! [`Quiescence`](crate::quiesce::Quiescence) detector; this module exists
+//! (and is tested) as the algorithm a real multi-node port would use, and it
+//! is exercised over the simulated fabric in the integration tests.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Rank color in Safra's algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Color {
+    /// Has not received a basic message since last forwarding the token.
+    White,
+    /// Received a basic message since last forwarding the token.
+    Black,
+}
+
+/// The token circulating the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Accumulated message-count balance of the ranks visited so far.
+    pub count: i64,
+    /// Accumulated color: black if any visited rank was black.
+    pub color: Color,
+}
+
+/// Per-rank state of Safra's algorithm.
+pub struct SafraRank {
+    rank: usize,
+    n: usize,
+    /// Messages sent minus messages received by this rank.
+    balance: AtomicI64,
+    color: Mutex<Color>,
+    /// Token currently held by this rank, if any.
+    held: Mutex<Option<Token>>,
+    /// Rank 0 only: whether a probe is currently circulating.
+    probing: AtomicBool,
+    detected: AtomicBool,
+}
+
+impl SafraRank {
+    /// Create the state for `rank` of `n`. Rank 0 initiates the first probe
+    /// the first time it is observed passive.
+    pub fn new(rank: usize, n: usize) -> Self {
+        SafraRank {
+            rank,
+            n,
+            balance: AtomicI64::new(0),
+            color: Mutex::new(Color::White),
+            held: Mutex::new(None),
+            probing: AtomicBool::new(false),
+            detected: AtomicBool::new(false),
+        }
+    }
+
+    /// Record that this rank sent a basic message.
+    pub fn on_send(&self) {
+        self.balance.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Record that this rank received a basic message: the rank turns black.
+    pub fn on_receive(&self) {
+        self.balance.fetch_sub(1, Ordering::SeqCst);
+        *self.color.lock() = Color::Black;
+    }
+
+    /// Receive the token from the predecessor in the ring.
+    pub fn accept_token(&self, token: Token) {
+        *self.held.lock() = Some(token);
+    }
+
+    /// Whether termination has been announced by this rank (only rank 0
+    /// ever announces).
+    pub fn terminated(&self) -> bool {
+        self.detected.load(Ordering::SeqCst)
+    }
+
+    /// If this rank is `passive` and holds the token, apply Safra's rules:
+    /// either detect termination (rank 0) or return the token to forward to
+    /// the ring successor, whitening this rank.
+    ///
+    /// Returns `Some((next_rank, token))` when the caller must deliver the
+    /// token onward, `None` otherwise.
+    pub fn try_forward(&self, passive: bool) -> Option<(usize, Token)> {
+        if !passive || self.terminated() {
+            return None;
+        }
+        let mut held = self.held.lock();
+
+        if self.rank == 0 {
+            // Rank 0 initiates probes (EWD998 rule 3); its own balance is
+            // added only when evaluating a returned token.
+            if !self.probing.load(Ordering::SeqCst) {
+                self.probing.store(true, Ordering::SeqCst);
+                *self.color.lock() = Color::White;
+                return Some((
+                    1 % self.n,
+                    Token {
+                        count: 0,
+                        color: Color::White,
+                    },
+                ));
+            }
+            let token = (*held)?;
+            let my_balance = self.balance.load(Ordering::SeqCst);
+            let mut color = self.color.lock();
+            let conclusive = token.color == Color::White
+                && *color == Color::White
+                && token.count + my_balance == 0;
+            *held = None;
+            if conclusive {
+                self.detected.store(true, Ordering::SeqCst);
+                return None;
+            }
+            // Inconclusive: whiten and launch a fresh probe.
+            *color = Color::White;
+            return Some((
+                1 % self.n,
+                Token {
+                    count: 0,
+                    color: Color::White,
+                },
+            ));
+        }
+        let token = (*held)?;
+        let my_balance = self.balance.load(Ordering::SeqCst);
+        let mut color = self.color.lock();
+
+        // Intermediate rank: accumulate and forward.
+        let out = Token {
+            count: token.count + my_balance,
+            color: if *color == Color::Black {
+                Color::Black
+            } else {
+                token.color
+            },
+        };
+        *held = None;
+        *color = Color::White;
+        Some(((self.rank + 1) % self.n, out))
+    }
+}
+
+/// A ring of Safra states sharing one address space, for driving the
+/// algorithm in tests and in the executor's diagnostics mode.
+pub struct SafraRing {
+    ranks: Vec<Arc<SafraRank>>,
+}
+
+impl SafraRing {
+    /// Create a ring of `n` ranks.
+    pub fn new(n: usize) -> Self {
+        SafraRing {
+            ranks: (0..n).map(|r| Arc::new(SafraRank::new(r, n))).collect(),
+        }
+    }
+
+    /// State handle for `rank`.
+    pub fn rank(&self, rank: usize) -> Arc<SafraRank> {
+        Arc::clone(&self.ranks[rank])
+    }
+
+    /// Drive the ring until rank 0 detects termination, given a predicate
+    /// telling whether each rank is currently passive. Intended for tests
+    /// and single-threaded replay; returns the number of token hops used.
+    pub fn drive_to_termination(&self, passive: impl Fn(usize) -> bool) -> usize {
+        let mut hops = 0;
+        let mut guard = 0;
+        while !self.ranks[0].terminated() {
+            for r in 0..self.ranks.len() {
+                if let Some((next, token)) = self.ranks[r].try_forward(passive(r)) {
+                    self.ranks[next].accept_token(token);
+                    hops += 1;
+                }
+            }
+            guard += 1;
+            assert!(
+                guard < 1_000_000,
+                "Safra ring failed to terminate — algorithm bug"
+            );
+        }
+        hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_immediately_when_nothing_happened() {
+        let ring = SafraRing::new(4);
+        let hops = ring.drive_to_termination(|_| true);
+        // One full white round suffices (plus possibly one bootstrap round).
+        assert!(ring.rank(0).terminated());
+        assert!(hops <= 8, "took {hops} hops");
+    }
+
+    #[test]
+    fn does_not_detect_while_messages_outstanding() {
+        let ring = SafraRing::new(3);
+        // Rank 1 sent a message not yet received anywhere.
+        ring.rank(1).on_send();
+        // Drive a bounded number of rounds; must NOT detect.
+        for _ in 0..10 {
+            for r in 0..3 {
+                if let Some((next, t)) = ring.rank(r).try_forward(true) {
+                    ring.rank(next).accept_token(t);
+                }
+            }
+        }
+        assert!(!ring.rank(0).terminated());
+        // Deliver the message; now detection must occur.
+        ring.rank(2).on_receive();
+        ring.drive_to_termination(|_| true);
+        assert!(ring.rank(0).terminated());
+    }
+
+    #[test]
+    fn black_receiver_forces_extra_round() {
+        let ring = SafraRing::new(2);
+        ring.rank(0).on_send();
+        ring.rank(1).on_receive();
+        // Counts balance (0 net) but rank 1 is black: the first probe must
+        // be inconclusive; a later all-white probe succeeds.
+        ring.drive_to_termination(|_| true);
+        assert!(ring.rank(0).terminated());
+    }
+
+    #[test]
+    fn active_rank_holds_the_token() {
+        let ring = SafraRing::new(2);
+        // Rank 0 passive, rank 1 active: token parks at rank 1.
+        assert!(ring.rank(0).try_forward(true).is_some() || true);
+        // Restart cleanly: fresh ring, rank 1 never passive.
+        let ring = SafraRing::new(2);
+        let mut forwarded_to_1 = false;
+        for _ in 0..5 {
+            if let Some((next, t)) = ring.rank(0).try_forward(true) {
+                assert_eq!(next, 1);
+                ring.rank(1).accept_token(t);
+                forwarded_to_1 = true;
+            }
+            // Rank 1 reports active: it must not forward.
+            assert!(ring.rank(1).try_forward(false).is_none());
+        }
+        assert!(forwarded_to_1);
+        assert!(!ring.rank(0).terminated());
+    }
+
+    #[test]
+    fn many_ranks_with_message_churn() {
+        let n = 8;
+        let ring = SafraRing::new(n);
+        // Simulate a ring of sends: each rank sends to the next, all received.
+        for r in 0..n {
+            ring.rank(r).on_send();
+            ring.rank((r + 1) % n).on_receive();
+        }
+        ring.drive_to_termination(|_| true);
+        assert!(ring.rank(0).terminated());
+    }
+}

@@ -1,0 +1,90 @@
+//! Machine models, including presets for the paper's two testbeds.
+
+/// A LogGP-style distributed machine: `nodes` nodes of `cores_per_node`
+/// cores connected by a network with per-message latency and per-byte
+/// bandwidth, one full-duplex NIC channel per node in each direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineModel {
+    /// Number of nodes (one trace rank maps to one node).
+    pub nodes: usize,
+    /// Cores per node available for task execution.
+    pub cores_per_node: usize,
+    /// One-way message latency in nanoseconds (α).
+    pub latency_ns: u64,
+    /// Network bandwidth in bytes per nanosecond (≈ GB/s).
+    pub bytes_per_ns: f64,
+    /// Software overhead charged per received message (backend dependent).
+    pub msg_overhead_ns: u64,
+    /// Software overhead charged per task activation (backend dependent).
+    pub task_overhead_ns: u64,
+}
+
+impl MachineModel {
+    /// Hawk-like nodes: dual-socket 64-core AMD EPYC 7742; the paper uses
+    /// 60 worker threads per node; Mellanox InfiniBand HDR 200
+    /// (≈ 25 GB/s ≈ 25 bytes/ns, ≈ 1.2 µs latency).
+    pub fn hawk(nodes: usize) -> Self {
+        MachineModel {
+            nodes,
+            cores_per_node: 60,
+            latency_ns: 1_200,
+            bytes_per_ns: 25.0,
+            msg_overhead_ns: 800,
+            task_overhead_ns: 300,
+        }
+    }
+
+    /// Seawulf-like nodes: dual-socket Intel Xeon Gold 6148 (40 cores);
+    /// Mellanox InfiniBand FDR (≈ 6.8 GB/s, ≈ 1.7 µs latency).
+    pub fn seawulf(nodes: usize) -> Self {
+        MachineModel {
+            nodes,
+            cores_per_node: 36,
+            latency_ns: 1_700,
+            bytes_per_ns: 6.8,
+            msg_overhead_ns: 900,
+            task_overhead_ns: 300,
+        }
+    }
+
+    /// Duration of a `bytes`-sized transfer excluding NIC queueing.
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        self.latency_ns + (bytes as f64 / self.bytes_per_ns) as u64
+    }
+
+    /// Apply a backend's software overheads to this model.
+    pub fn with_backend_overheads(mut self, msg_ns: u64, task_ns: u64) -> Self {
+        self.msg_overhead_ns = msg_ns;
+        self.task_overhead_ns = task_ns;
+        self
+    }
+
+    /// Override the core count (e.g. to study oversubscription).
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores_per_node = cores;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let h = MachineModel::hawk(64);
+        assert_eq!(h.nodes, 64);
+        assert!(h.cores_per_node >= 36);
+        let s = MachineModel::seawulf(32);
+        assert!(s.bytes_per_ns < h.bytes_per_ns, "FDR slower than HDR");
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let m = MachineModel::hawk(2);
+        let small = m.transfer_ns(8);
+        let big = m.transfer_ns(8_000_000);
+        assert!(small >= m.latency_ns);
+        assert!(big > small + 100_000);
+    }
+}

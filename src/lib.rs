@@ -1,0 +1,18 @@
+//! # ttg — Template Task Graph for Rust
+//!
+//! Facade crate re-exporting the full public API of the TTG reproduction
+//! (paper: *Generalized Flow-Graph Programming Using Template Task-Graphs*,
+//! IPDPS 2022). See the README for a quickstart and `DESIGN.md` for the
+//! architecture.
+
+pub use ttg_apps as apps;
+pub use ttg_bsp as bsp;
+pub use ttg_comm as comm;
+pub use ttg_core as core;
+pub use ttg_linalg as linalg;
+pub use ttg_madness as madness;
+pub use ttg_mra as mra;
+pub use ttg_parsec as parsec;
+pub use ttg_runtime as runtime;
+pub use ttg_simnet as simnet;
+pub use ttg_sparse as sparse;
