@@ -31,7 +31,7 @@ pub fn run(
     drop_tol: f64,
 ) -> (BlockSparse, Vec<TraceTask>) {
     let mut layers = layers.max(1);
-    while ranks % layers != 0 {
+    while !ranks.is_multiple_of(layers) {
         layers -= 1;
     }
     let grid_ranks = ranks / layers;
@@ -103,8 +103,7 @@ pub fn run(
                     let owner = base + owner_in_grid;
                     let at = a.block(i as usize, k).unwrap();
                     let bt = b.block(k, j as usize).unwrap();
-                    let cost =
-                        ns_for_flops(gemm_flops(at.rows(), bt.cols(), at.cols()));
+                    let cost = ns_for_flops(gemm_flops(at.rows(), bt.cols(), at.cols()));
                     let ad = a_deps[&i][owner_in_grid % dist.q];
                     let bd = b_deps[&j][owner_in_grid / dist.q];
                     p.task(owner, cost, &[ad, bd]);
@@ -180,10 +179,7 @@ mod tests {
         let expect = a.multiply_reference(&a, 1e-8);
         for layers in [1, 2, 4] {
             let (c, trace) = run(&a, &a, 8, layers, 1e-8);
-            assert!(
-                c.max_abs_diff(&expect) < 1e-10,
-                "layers={layers}"
-            );
+            assert!(c.max_abs_diff(&expect) < 1e-10, "layers={layers}");
             assert!(!trace.is_empty());
         }
     }

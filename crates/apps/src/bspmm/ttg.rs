@@ -85,10 +85,7 @@ pub fn run(a: &BlockSparse, b: &BlockSparse, cfg: &Config) -> (BlockSparse, Exec
         move |key, (_c,): (Ctl,), outs| {
             let (i, k) = *key;
             let tile = a2.block(i as usize, k as usize).expect("A tile").clone();
-            let mut pcs: Vec<u32> = mp2.b_cols[k as usize]
-                .iter()
-                .map(|j| j % q_cols)
-                .collect();
+            let mut pcs: Vec<u32> = mp2.b_cols[k as usize].iter().map(|j| j % q_cols).collect();
             pcs.sort_unstable();
             pcs.dedup();
             let keys: Vec<K3> = pcs.into_iter().map(|pc| (i, k, pc)).collect();
@@ -106,10 +103,7 @@ pub fn run(a: &BlockSparse, b: &BlockSparse, cfg: &Config) -> (BlockSparse, Exec
         move |key, (_c,): (Ctl,), outs| {
             let (k, j) = *key;
             let tile = b2.block(k as usize, j as usize).expect("B tile").clone();
-            let mut prs: Vec<u32> = mp2.a_rows[k as usize]
-                .iter()
-                .map(|i| i % p_rows)
-                .collect();
+            let mut prs: Vec<u32> = mp2.a_rows[k as usize].iter().map(|i| i % p_rows).collect();
             prs.sort_unstable();
             prs.dedup();
             let keys: Vec<K3> = prs.into_iter().map(|pr| (k, j, pr)).collect();

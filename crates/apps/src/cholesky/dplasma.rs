@@ -44,12 +44,7 @@ impl Wire for Msg {
 type K = (u64, u64, u64);
 
 /// Run the DPLASMA-like factorization over `ranks × workers`.
-pub fn run(
-    a: &TiledMatrix,
-    ranks: usize,
-    workers: usize,
-    trace: bool,
-) -> (TiledMatrix, PtgReport) {
+pub fn run(a: &TiledMatrix, ranks: usize, workers: usize, trace: bool) -> (TiledMatrix, PtgReport) {
     let nt = a.nt() as u64;
     let nb = a.nb();
     let dist = Dist2D::for_ranks(ranks);
@@ -128,7 +123,14 @@ pub fn run(
                         },
                     );
                 }
-                ctx.send(RESULT, (m, k, 0), Msg { role: 0, tile: a_mk });
+                ctx.send(
+                    RESULT,
+                    (m, k, 0),
+                    Msg {
+                        role: 0,
+                        tile: a_mk,
+                    },
+                );
             }),
         },
         TaskClass {
@@ -151,9 +153,23 @@ pub fn run(
                 let (mut a_mm, l_mk) = (a_mm.expect("A_mm"), l_mk.expect("L_mk"));
                 syrk_ln(&l_mk, &mut a_mm);
                 if k + 1 == m {
-                    ctx.send(POTRF, (m, 0, 0), Msg { role: 0, tile: a_mm });
+                    ctx.send(
+                        POTRF,
+                        (m, 0, 0),
+                        Msg {
+                            role: 0,
+                            tile: a_mm,
+                        },
+                    );
                 } else {
-                    ctx.send(SYRK, (k + 1, m, 0), Msg { role: 0, tile: a_mm });
+                    ctx.send(
+                        SYRK,
+                        (k + 1, m, 0),
+                        Msg {
+                            role: 0,
+                            tile: a_mm,
+                        },
+                    );
                 }
             }),
         },
@@ -182,9 +198,23 @@ pub fn run(
                 );
                 gemm_nt(-1.0, &l_ik, &l_jk, &mut a_ij);
                 if k + 1 == j {
-                    ctx.send(TRSM, (i, j, 0), Msg { role: 0, tile: a_ij });
+                    ctx.send(
+                        TRSM,
+                        (i, j, 0),
+                        Msg {
+                            role: 0,
+                            tile: a_ij,
+                        },
+                    );
                 } else {
-                    ctx.send(GEMM, (i, j, k + 1), Msg { role: 0, tile: a_ij });
+                    ctx.send(
+                        GEMM,
+                        (i, j, k + 1),
+                        Msg {
+                            role: 0,
+                            tile: a_ij,
+                        },
+                    );
                 }
             }),
         },

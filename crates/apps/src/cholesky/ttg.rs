@@ -9,7 +9,9 @@
 use std::sync::{Arc, Mutex};
 
 use ttg_core::prelude::*;
-use ttg_linalg::{gemm_flops, gemm_nt, potrf_flops, potrf_l, syrk_ln, trsm_rlt, Dist2D, Tile, TiledMatrix};
+use ttg_linalg::{
+    gemm_flops, gemm_nt, potrf_flops, potrf_l, syrk_ln, trsm_rlt, Dist2D, Tile, TiledMatrix,
+};
 
 use crate::cost::{ns_cubed, ns_for_flops};
 

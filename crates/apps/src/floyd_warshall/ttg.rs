@@ -86,12 +86,7 @@ pub fn run(m: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
     let ka = g.make_tt(
         "FW_A",
         (to_a.clone(),),
-        (
-            to_d.clone(),
-            result.clone(),
-            a_to_b.clone(),
-            a_to_c.clone(),
-        ),
+        (to_d.clone(), result.clone(), a_to_b.clone(), a_to_c.clone()),
         move |k: &K1| d2.owner(*k as usize, *k as usize),
         move |k, (mut tile,): (Tile,), outs| {
             let k = *k;
@@ -114,12 +109,7 @@ pub fn run(m: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
     let kb = g.make_tt(
         "FW_B",
         (to_b.clone(), a_to_b),
-        (
-            to_c.clone(),
-            to_d.clone(),
-            result.clone(),
-            b_to_d.clone(),
-        ),
+        (to_c.clone(), to_d.clone(), result.clone(), b_to_d.clone()),
         move |k: &K2| d2.owner(k.1 as usize, k.0 as usize),
         move |key, (mut tile, diag): (Tile, Tile), outs| {
             let (j, k) = *key;
@@ -143,12 +133,7 @@ pub fn run(m: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
     let kc = g.make_tt(
         "FW_C",
         (to_c.clone(), a_to_c),
-        (
-            to_b.clone(),
-            to_d.clone(),
-            result.clone(),
-            c_to_d.clone(),
-        ),
+        (to_b.clone(), to_d.clone(), result.clone(), c_to_d.clone()),
         move |k: &K2| d2.owner(k.0 as usize, k.1 as usize),
         move |key, (mut tile, diag): (Tile, Tile), outs| {
             let (i, k) = *key;
@@ -293,14 +278,7 @@ mod tests {
         let nt = 4u64;
         let g = random_graph(nt as usize, 3, 0.4, 8);
         let (_d, report) = run(&g, &cfg);
-        let count = |name: &str| {
-            report
-                .per_node
-                .iter()
-                .find(|(n, _)| *n == name)
-                .unwrap()
-                .1
-        };
+        let count = |name: &str| report.per_node.iter().find(|(n, _)| *n == name).unwrap().1;
         assert_eq!(count("FW_A"), nt);
         assert_eq!(count("FW_B"), nt * (nt - 1));
         assert_eq!(count("FW_C"), nt * (nt - 1));

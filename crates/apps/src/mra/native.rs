@@ -77,9 +77,7 @@ pub fn run_world(w: &Workload, ranks: usize, workers: usize) -> NativeResult {
                 let dst = owner(fid, &child, ranks);
                 let w3 = Arc::clone(world);
                 world.task(dst, move || {
-                    project_node(
-                        &w3, &mra2, f2, fid, child, tol, max_depth, leaves2, ranks,
-                    )
+                    project_node(&w3, &mra2, f2, fid, child, tol, max_depth, leaves2, ranks)
                 });
                 let _ = world2;
             }
@@ -119,16 +117,11 @@ pub fn run_world(w: &Workload, ranks: usize, workers: usize) -> NativeResult {
     let mut roots: HashMap<u32, Coeffs3> = HashMap::new();
     let mut level = s_at.keys().map(|(_, n)| n.n).max().unwrap_or(0);
     while level > 0 {
-        let this_level: Vec<FK> = s_at
-            .keys()
-            .filter(|(_, n)| n.n == level)
-            .cloned()
-            .collect();
+        let this_level: Vec<FK> = s_at.keys().filter(|(_, n)| n.n == level).cloned().collect();
         let mut parents: Vec<FK> = this_level.iter().map(|(f, n)| (*f, n.parent())).collect();
         parents.sort_unstable();
         parents.dedup();
-        let results: Arc<Mutex<Vec<(FK, Coeffs3, Vec<f64>)>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        let results: Arc<Mutex<Vec<(FK, Coeffs3, Vec<f64>)>>> = Arc::new(Mutex::new(Vec::new()));
         for p in parents {
             let mut children: [Coeffs3; 8] = Default::default();
             let k3 = w.k * w.k * w.k;
@@ -283,12 +276,7 @@ pub fn run_trace(w: &Workload, ranks: usize) -> Vec<TraceTask> {
                     let child = node.child(c);
                     let csrc = owner(*fid, &child, ranks);
                     let prev = p.task(csrc, 0, &[]); // child block handoff
-                    (
-                        prev,
-                        if csrc == own { 0 } else { block_bytes },
-                        csrc,
-                        0,
-                    )
+                    (prev, if csrc == own { 0 } else { block_bytes }, csrc, 0)
                 })
                 .collect();
             p.task(own, cost, &deps);

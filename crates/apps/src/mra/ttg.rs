@@ -60,11 +60,7 @@ pub struct MraResult {
 pub fn node_owner(fid: u32, node: &Node3, ranks: usize) -> usize {
     let target = 2u8.min(node.n);
     let shift = node.n - target;
-    let anc = [
-        node.l[0] >> shift,
-        node.l[1] >> shift,
-        node.l[2] >> shift,
-    ];
+    let anc = [node.l[0] >> shift, node.l[1] >> shift, node.l[2] >> shift];
     let mut h = fid as u64 ^ 0x9e37_79b9_7f4a_7c15;
     for d in 0..3 {
         h = h
@@ -170,10 +166,7 @@ pub fn run(w: &Workload, cfg: &Config) -> MraResult {
             }
         },
     );
-    compress.set_input_reducer::<0>(
-        |acc, mut more| acc.parts.append(&mut more.parts),
-        Some(8),
-    );
+    compress.set_input_reducer::<0>(|acc, mut more| acc.parts.append(&mut more.parts), Some(8));
 
     // Reconstruct(fid, node): if a detail block exists the node is
     // interior — rebuild the 8 children; otherwise it is a leaf — emit its
@@ -262,7 +255,10 @@ pub fn run(w: &Workload, cfg: &Config) -> MraResult {
     let norms_out = norms.lock().unwrap().clone();
     MraResult {
         norms: norms_out,
-        leaves: leaf_counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        leaves: leaf_counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
         report,
     }
 }

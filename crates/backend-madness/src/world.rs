@@ -19,6 +19,7 @@ use std::sync::Arc;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use ttg_runtime::{Job, Quiescence, SchedulerKind, WorkerPool};
+use ttg_telemetry::{Counter, MetricKey, Registry};
 
 /// A write-once future in the MADNESS style.
 pub struct MadFuture<T> {
@@ -77,11 +78,39 @@ enum AmMsg {
     Stop,
 }
 
+// Per-rank backend counters: submitted tasks, active messages served, and
+// the copy behavior of the global namespace (one-sided gets clone at the
+// owner; inserts and RMI moves are zero-copy).
+struct WorldMetrics {
+    tasks: Vec<Counter>,
+    ams: Vec<Counter>,
+    copies: Vec<Counter>,
+    zero_copy: Vec<Counter>,
+}
+
+impl WorldMetrics {
+    fn new(reg: &Registry, n: usize) -> Self {
+        let per_rank = |name: &'static str| -> Vec<Counter> {
+            (0..n)
+                .map(|r| reg.counter(MetricKey::ranked(r, "backend", name)))
+                .collect()
+        };
+        WorldMetrics {
+            tasks: per_rank("tasks"),
+            ams: per_rank("ams"),
+            copies: per_rank("copies"),
+            zero_copy: per_rank("zero_copy"),
+        }
+    }
+}
+
 struct WorldInner {
     n_ranks: usize,
     pools: Vec<WorkerPool>,
     am_tx: Vec<Sender<AmMsg>>,
     quiescence: Arc<Quiescence>,
+    telemetry: Arc<Registry>,
+    metrics: WorldMetrics,
 }
 
 /// A handle on the SPMD "world": `n` ranks, each with a worker pool and a
@@ -95,13 +124,15 @@ impl World {
     /// Create a world of `ranks` ranks × `workers` threads.
     pub fn new(ranks: usize, workers: usize) -> Arc<World> {
         let quiescence = Arc::new(Quiescence::new());
+        let telemetry = Arc::new(Registry::new());
         let pools = (0..ranks)
             .map(|r| {
-                WorkerPool::new(
+                WorkerPool::with_telemetry(
                     workers,
                     SchedulerKind::Central,
                     Arc::clone(&quiescence),
                     &format!("mad{r}"),
+                    Some((&telemetry, r)),
                 )
             })
             .collect();
@@ -112,11 +143,14 @@ impl World {
             am_tx.push(tx);
             am_rx.push(rx);
         }
+        let metrics = WorldMetrics::new(&telemetry, ranks);
         let inner = Arc::new(WorldInner {
             n_ranks: ranks,
             pools,
             am_tx,
             quiescence: Arc::clone(&quiescence),
+            telemetry,
+            metrics,
         });
         let mut am_threads = Vec::with_capacity(ranks);
         for (r, rx) in am_rx.into_iter().enumerate() {
@@ -124,13 +158,14 @@ impl World {
             am_threads.push(
                 std::thread::Builder::new()
                     .name(format!("mad-am-{r}"))
-                    .spawn(move || loop {
-                        match rx.recv() {
-                            Ok(AmMsg::Run(am)) => {
-                                am();
-                                q.activity_finished();
-                            }
-                            Ok(AmMsg::Stop) | Err(_) => break,
+                    .spawn(move || {
+                        #[cfg(feature = "telemetry")]
+                        ttg_telemetry::span::name_current_thread(format!("mad-am-{r}"));
+                        #[cfg(not(feature = "telemetry"))]
+                        let _ = r;
+                        while let Ok(AmMsg::Run(am)) = rx.recv() {
+                            am();
+                            q.activity_finished();
                         }
                     })
                     .expect("failed to spawn AM server"),
@@ -147,6 +182,11 @@ impl World {
         self.inner.n_ranks
     }
 
+    /// The world's telemetry registry (`sched` and `backend` subsystems).
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.inner.telemetry
+    }
+
     /// Submit a task to `rank`'s pool; returns a future for its result.
     pub fn task<T: Send + 'static>(
         &self,
@@ -155,6 +195,7 @@ impl World {
     ) -> MadFuture<T> {
         let fut = MadFuture::new();
         let fut2 = fut.clone();
+        self.inner.metrics.tasks[rank].inc();
         self.inner.pools[rank].submit(Job::new(move || {
             fut2.set(f());
         }));
@@ -164,9 +205,18 @@ impl World {
     /// Send an active message to `rank`'s AM server thread.
     pub fn am(&self, rank: usize, f: impl FnOnce() + Send + 'static) {
         self.inner.quiescence.activity_started();
+        self.inner.metrics.ams[rank].inc();
         self.inner.am_tx[rank]
             .send(AmMsg::Run(Box::new(f)))
             .expect("world closed");
+    }
+
+    fn count_copy(&self, rank: usize) {
+        self.inner.metrics.copies[rank].inc();
+    }
+
+    fn count_zero_copy(&self, rank: usize) {
+        self.inner.metrics.zero_copy[rank].inc();
     }
 
     /// Global fence: block until every task and active message everywhere
@@ -225,7 +275,11 @@ where
     pub fn new(world: &Arc<World>) -> Self {
         WorldContainer {
             world: Arc::clone(world),
-            shards: Arc::new((0..world.n_ranks()).map(|_| Mutex::new(HashMap::new())).collect()),
+            shards: Arc::new(
+                (0..world.n_ranks())
+                    .map(|_| Mutex::new(HashMap::new()))
+                    .collect(),
+            ),
         }
     }
 
@@ -236,10 +290,12 @@ where
         (h.finish() as usize) % self.world.n_ranks()
     }
 
-    /// Insert (one-sided): executes on the owner rank.
+    /// Insert (one-sided): executes on the owner rank. The value is moved,
+    /// never copied.
     pub fn insert(&self, k: K, v: V) {
         let owner = self.owner(&k);
         let shards = Arc::clone(&self.shards);
+        self.world.count_zero_copy(owner);
         self.world.am(owner, move || {
             shards[owner].lock().insert(k, v);
         });
@@ -253,6 +309,7 @@ where
     {
         let owner = self.owner(&k);
         let shards = Arc::clone(&self.shards);
+        self.world.count_zero_copy(owner);
         self.world.am(owner, move || {
             let mut shard = shards[owner].lock();
             let v = shard.entry(k).or_default();
@@ -270,6 +327,7 @@ where
         let shards = Arc::clone(&self.shards);
         let fut = MadFuture::new();
         let fut2 = fut.clone();
+        self.world.count_copy(owner);
         self.world.am(owner, move || {
             fut2.set(shards[owner].lock().get(&k).cloned());
         });
@@ -365,6 +423,26 @@ mod tests {
         assert_eq!(counts.iter().sum::<usize>(), 256);
         // No rank should own everything.
         assert!(counts.iter().all(|&n| n < 256));
+    }
+
+    #[test]
+    fn telemetry_counts_backend_activity() {
+        let world = World::new(2, 1);
+        let c: WorldContainer<u64, i64> = WorldContainer::new(&world);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        world.fence();
+        assert_eq!(c.get(&1).get(), Some(10));
+        world.fence();
+        let snap = world.telemetry().snapshot();
+        let total = |name: &'static str| -> u64 {
+            (0..2)
+                .map(|r| snap.counter(&MetricKey::ranked(r, "backend", name)))
+                .sum()
+        };
+        assert_eq!(total("zero_copy"), 2, "two moved inserts");
+        assert_eq!(total("copies"), 1, "one cloning get");
+        assert_eq!(total("ams"), 3, "every container op is one AM");
     }
 
     #[test]

@@ -21,6 +21,7 @@ use ttg_comm::{Fabric, Packet, ReadBuf, StatsSnapshot, WriteBuf};
 use ttg_core::trace::{Dep, TaskEvent, TraceRecorder};
 use ttg_core::types::{Data, Key};
 use ttg_runtime::{Quiescence, SchedulerKind, WorkerPool};
+use ttg_telemetry::{Counter, MetricKey};
 
 /// Context handed to PTG task bodies for emitting downstream data.
 pub struct PtgCtx<'a, K: Key, V: Data> {
@@ -79,6 +80,9 @@ struct RtInner<K: Key, V: Data> {
     trace: Option<TraceRecorder>,
     next_task: AtomicU64,
     tasks_run: AtomicU64,
+    // Per-rank activation counters, registered under "backend" in the
+    // fabric's telemetry registry (countdown hit zero → task launched).
+    activations: Vec<Counter>,
 }
 
 impl<K: Key, V: Data> RtInner<K, V> {
@@ -104,7 +108,8 @@ impl<K: Key, V: Data> RtInner<K, V> {
             key.encode(&mut b);
             v.encode(&mut b);
             self.fabric.count_serialization();
-            self.fabric.send_am(src_rank, owner, class as u32, b.into_vec());
+            self.fabric
+                .send_am(src_rank, owner, class as u32, b.into_vec());
         }
     }
 
@@ -140,6 +145,7 @@ impl<K: Key, V: Data> RtInner<K, V> {
         let rt = Arc::clone(self);
         let task_id = self.next_task.fetch_add(1, Ordering::Relaxed);
         let prio = (self.classes[class].priority)(&key);
+        self.activations[rank].inc();
         self.pools[rank].submit(ttg_runtime::Job::with_priority(prio, move || {
             let ctx = PtgCtx {
                 rt: &rt,
@@ -147,7 +153,12 @@ impl<K: Key, V: Data> RtInner<K, V> {
                 task_id,
             };
             let t0 = Instant::now();
-            (rt.classes[class].body)(&key, entry.vals, &ctx);
+            {
+                #[cfg(feature = "telemetry")]
+                let _span = ttg_telemetry::span_for_rank(rank, "task", rt.classes[class].name)
+                    .arg("task", task_id);
+                (rt.classes[class].body)(&key, entry.vals, &ctx);
+            }
             let measured = t0.elapsed().as_nanos() as u64;
             rt.tasks_run.fetch_add(1, Ordering::Relaxed);
             if let Some(tr) = &rt.trace {
@@ -183,6 +194,8 @@ pub struct PtgReport {
     pub tasks: u64,
     /// Trace (when enabled).
     pub trace: Option<Vec<TaskEvent>>,
+    /// Full telemetry snapshot (comm, sched, backend subsystems).
+    pub telemetry: ttg_telemetry::Snapshot,
 }
 
 /// A running PTG program.
@@ -199,12 +212,20 @@ impl<K: Key, V: Data> PtgRuntime<K, V> {
         let quiescence = Arc::new(Quiescence::new());
         let pools = (0..ranks)
             .map(|r| {
-                WorkerPool::new(
+                WorkerPool::with_telemetry(
                     workers,
                     SchedulerKind::WorkStealing,
                     Arc::clone(&quiescence),
                     &format!("ptg{r}"),
+                    Some((fabric.telemetry(), r)),
                 )
+            })
+            .collect();
+        let activations = (0..ranks)
+            .map(|r| {
+                fabric
+                    .telemetry()
+                    .counter(MetricKey::ranked(r, "backend", "activations"))
             })
             .collect();
         let tables = classes
@@ -224,6 +245,7 @@ impl<K: Key, V: Data> PtgRuntime<K, V> {
             },
             next_task: AtomicU64::new(1),
             tasks_run: AtomicU64::new(0),
+            activations,
         });
 
         let mut comm_threads = Vec::with_capacity(ranks);
@@ -312,6 +334,7 @@ impl<K: Key, V: Data> PtgRuntime<K, V> {
             comm: self.inner.fabric.stats().snapshot(),
             tasks: self.inner.tasks_run.load(Ordering::Relaxed),
             trace: self.inner.trace.as_ref().map(|t| t.take()),
+            telemetry: self.inner.fabric.telemetry().snapshot(),
         }
     }
 }

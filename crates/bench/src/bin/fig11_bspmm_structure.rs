@@ -14,7 +14,11 @@ fn main() {
     println!("=== Fig. 11 — synthetic Yukawa-operator matrix structure ===");
     println!("atoms                : {}", params.atoms);
     println!("matrix dimension     : {rows} × {cols}");
-    println!("block grid           : {} × {}", m.block_rows(), m.block_cols());
+    println!(
+        "block grid           : {} × {}",
+        m.block_rows(),
+        m.block_cols()
+    );
     println!("target tile size     : {}", params.target_tile);
     println!(
         "tile sizes           : min {} / avg {:.1} / max {}",

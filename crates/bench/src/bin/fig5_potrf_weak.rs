@@ -12,9 +12,75 @@ use ttg_apps::cholesky::{self, bulksync, dplasma, ttg as chol_ttg};
 use ttg_bench::{gflops, print_table, project, project_raw, Series};
 use ttg_linalg::TiledMatrix;
 use ttg_simnet::MachineModel;
+use ttg_telemetry::MetricKey;
 
 const NB: usize = 48;
 const BASE_NT: usize = 4;
+
+/// One row of the emitted `results/fig5_metrics.json`: the wire-level story
+/// behind one TTG execution (bytes by protocol, broadcast dedup, balance).
+struct MetricsRow {
+    nodes: usize,
+    backend: &'static str,
+    report: ttg_core::ExecReport,
+}
+
+impl MetricsRow {
+    fn to_json(&self) -> String {
+        let c = &self.report.comm;
+        // Fraction of the naive broadcast traffic that dedup avoided
+        // (naive = actual wire bytes over both protocols + bytes saved).
+        let naive_bytes = c.am_bytes + c.rma_bytes + c.bcast_bytes_saved;
+        let dedup_ratio = if naive_bytes == 0 {
+            0.0
+        } else {
+            c.bcast_bytes_saved as f64 / naive_bytes as f64
+        };
+        let per_rank_tasks: Vec<String> = (0..self.nodes)
+            .map(|r| {
+                self.report
+                    .telemetry
+                    .counter(&MetricKey::ranked(r, "core", "activations"))
+                    .to_string()
+            })
+            .collect();
+        format!(
+            "{{\"nodes\":{},\"backend\":\"{}\",\
+             \"bytes_by_protocol\":{{\"eager_am\":{},\"rma\":{}}},\
+             \"messages\":{{\"am\":{},\"rma_gets\":{},\"local\":{}}},\
+             \"broadcast_dedup\":{{\"sends_saved\":{},\"bytes_saved\":{},\
+             \"ratio\":{:.4}}},\
+             \"per_rank_tasks\":[{}]}}",
+            self.nodes,
+            self.backend,
+            c.am_bytes,
+            c.rma_bytes,
+            c.am_count,
+            c.rma_gets,
+            c.local_deliveries,
+            c.bcast_sends_saved,
+            c.bcast_bytes_saved,
+            dedup_ratio,
+            per_rank_tasks.join(",")
+        )
+    }
+}
+
+fn write_metrics(rows: &[MetricsRow]) {
+    let body: Vec<String> = rows.iter().map(MetricsRow::to_json).collect();
+    let doc = format!(
+        "{{\"benchmark\":\"fig5_potrf_weak\",\"runs\":[{}]}}",
+        body.join(",")
+    );
+    debug_assert!(ttg_telemetry::json::validate(&doc).is_ok());
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|_| std::fs::write("results/fig5_metrics.json", &doc))
+    {
+        eprintln!("fig5: could not write results/fig5_metrics.json: {e}");
+    } else {
+        println!("wrote results/fig5_metrics.json ({} runs)", rows.len());
+    }
+}
 
 fn main() {
     let nodes = [1usize, 4, 16, 64];
@@ -24,6 +90,7 @@ fn main() {
     let mut s_chameleon = Series::new("Chameleon");
     let mut s_slate = Series::new("SLATE");
     let mut s_scalapack = Series::new("ScaLAPACK");
+    let mut metrics_rows: Vec<MetricsRow> = Vec::new();
 
     for &p in &nodes {
         let nt = BASE_NT * (p as f64).sqrt() as usize;
@@ -33,9 +100,9 @@ fn main() {
         eprintln!("fig5: {p} nodes, {nt}×{nt} tiles of {NB}²…");
 
         // TTG over both backends.
-        for (series, backend) in [
-            (&mut s_ttg_parsec, ttg_parsec::backend()),
-            (&mut s_ttg_madness, ttg_madness::backend()),
+        for (series, backend, bname) in [
+            (&mut s_ttg_parsec, ttg_parsec::backend(), "parsec"),
+            (&mut s_ttg_madness, ttg_madness::backend(), "madness"),
         ] {
             let cfg = chol_ttg::Config {
                 ranks: p,
@@ -48,6 +115,11 @@ fn main() {
             assert!(cholesky::residual(&a, &l) < 1e-8);
             let sim = project(report.trace.as_ref().unwrap(), machine, &backend);
             series.push(p as f64, gflops(flops, sim.makespan_ns));
+            metrics_rows.push(MetricsRow {
+                nodes: p,
+                backend: bname,
+                report,
+            });
         }
 
         // DPLASMA-like (PTG direct).
@@ -98,4 +170,5 @@ fn main() {
         "\nper-node submatrix: {}x{} tiles of {NB}x{NB} (stands in for the paper's 30k^2 / 512^2)",
         BASE_NT, BASE_NT
     );
+    write_metrics(&metrics_rows);
 }

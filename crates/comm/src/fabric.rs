@@ -19,6 +19,7 @@ use std::sync::{Arc, Barrier};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use ttg_telemetry::{Counter, MetricKey, Registry};
 
 /// Logical process rank within the fabric.
 pub type Rank = usize;
@@ -49,22 +50,35 @@ struct Region {
 }
 
 /// Aggregate communication counters for a fabric (all ranks).
-#[derive(Debug, Default)]
+///
+/// Since the telemetry migration these are handles into the fabric's
+/// [`Registry`] (subsystem `"comm"`), so the same cells feed both this
+/// legacy accessor and registry snapshots/JSON exports. Updates remain
+/// single relaxed atomic ops, as with the previous ad-hoc `AtomicU64`s.
+#[derive(Debug)]
 pub struct FabricStats {
     /// Active messages sent between distinct ranks.
-    pub am_count: AtomicU64,
+    am_count: Counter,
     /// Bytes moved through active messages.
-    pub am_bytes: AtomicU64,
+    am_bytes: Counter,
     /// One-sided region fetches.
-    pub rma_gets: AtomicU64,
+    rma_gets: Counter,
     /// Bytes moved through RMA fetches.
-    pub rma_bytes: AtomicU64,
+    rma_bytes: Counter,
     /// Messages delivered without leaving the rank.
-    pub local_deliveries: AtomicU64,
+    local_deliveries: Counter,
     /// Number of serialization passes performed (copies into wire buffers).
-    pub serializations: AtomicU64,
+    serializations: Counter,
     /// Number of deep data copies performed by backends (clone-on-send).
-    pub data_copies: AtomicU64,
+    data_copies: Counter,
+    /// Broadcast sends avoided by the optimized one-AM-per-rank broadcast.
+    bcast_sends_saved: Counter,
+    /// Bytes not re-serialized thanks to broadcast deduplication.
+    bcast_bytes_saved: Counter,
+    /// Per-rank bytes put on the wire (AM payloads + RMA reads served).
+    tx_bytes: Vec<Counter>,
+    /// Per-rank bytes taken off the wire.
+    rx_bytes: Vec<Counter>,
 }
 
 /// Plain snapshot of [`FabricStats`] counters.
@@ -84,19 +98,46 @@ pub struct StatsSnapshot {
     pub serializations: u64,
     /// Deep data copies by backends.
     pub data_copies: u64,
+    /// Broadcast sends avoided by deduplication.
+    pub bcast_sends_saved: u64,
+    /// Bytes not re-serialized thanks to broadcast deduplication.
+    pub bcast_bytes_saved: u64,
 }
 
 impl FabricStats {
+    fn new(reg: &Registry, n: usize) -> Self {
+        let c = |name| reg.counter(MetricKey::global("comm", name));
+        FabricStats {
+            am_count: c("am_count"),
+            am_bytes: c("am_bytes"),
+            rma_gets: c("rma_gets"),
+            rma_bytes: c("rma_bytes"),
+            local_deliveries: c("local_deliveries"),
+            serializations: c("serializations"),
+            data_copies: c("data_copies"),
+            bcast_sends_saved: c("bcast_sends_saved"),
+            bcast_bytes_saved: c("bcast_bytes_saved"),
+            tx_bytes: (0..n)
+                .map(|r| reg.counter(MetricKey::ranked(r, "comm", "tx_bytes")))
+                .collect(),
+            rx_bytes: (0..n)
+                .map(|r| reg.counter(MetricKey::ranked(r, "comm", "rx_bytes")))
+                .collect(),
+        }
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            am_count: self.am_count.load(Ordering::Relaxed),
-            am_bytes: self.am_bytes.load(Ordering::Relaxed),
-            rma_gets: self.rma_gets.load(Ordering::Relaxed),
-            rma_bytes: self.rma_bytes.load(Ordering::Relaxed),
-            local_deliveries: self.local_deliveries.load(Ordering::Relaxed),
-            serializations: self.serializations.load(Ordering::Relaxed),
-            data_copies: self.data_copies.load(Ordering::Relaxed),
+            am_count: self.am_count.get(),
+            am_bytes: self.am_bytes.get(),
+            rma_gets: self.rma_gets.get(),
+            rma_bytes: self.rma_bytes.get(),
+            local_deliveries: self.local_deliveries.get(),
+            serializations: self.serializations.get(),
+            data_copies: self.data_copies.get(),
+            bcast_sends_saved: self.bcast_sends_saved.get(),
+            bcast_bytes_saved: self.bcast_bytes_saved.get(),
         }
     }
 }
@@ -116,6 +157,7 @@ pub struct Fabric {
     regions: Vec<Mutex<HashMap<RegionId, Region>>>,
     next_region: AtomicU64,
     barrier: Barrier,
+    telemetry: Arc<Registry>,
     stats: FabricStats,
     in_flight: AtomicUsize,
 }
@@ -131,6 +173,8 @@ impl Fabric {
             senders.push(tx);
             receivers.push(Some(rx));
         }
+        let telemetry = Arc::new(Registry::new());
+        let stats = FabricStats::new(&telemetry, n);
         Arc::new(Fabric {
             n,
             senders,
@@ -138,7 +182,8 @@ impl Fabric {
             regions: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
             next_region: AtomicU64::new(1),
             barrier: Barrier::new(n),
-            stats: FabricStats::default(),
+            telemetry,
+            stats,
             in_flight: AtomicUsize::new(0),
         })
     }
@@ -153,6 +198,13 @@ impl Fabric {
         &self.stats
     }
 
+    /// The metrics registry this fabric's counters live in. Snapshots taken
+    /// here include everything [`FabricStats`] reports plus the per-rank
+    /// `tx_bytes`/`rx_bytes` breakdown, keyed under subsystem `"comm"`.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
+    }
+
     /// Take ownership of rank `rank`'s packet receiver. Panics if taken twice.
     pub fn take_receiver(&self, rank: Rank) -> Receiver<Packet> {
         self.receivers.lock()[rank]
@@ -164,12 +216,24 @@ impl Fabric {
     /// when the ranks differ; rank-local AMs are loopback deliveries.
     pub fn send_am(&self, from: Rank, to: Rank, handler: u32, payload: Vec<u8>) {
         if from != to {
-            self.stats.am_count.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .am_bytes
-                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            let bytes = payload.len() as u64;
+            self.stats.am_count.inc();
+            self.stats.am_bytes.add(bytes);
+            // `from` may be an out-of-fabric sentinel (external seeding
+            // uses usize::MAX); only real ranks have a tx counter.
+            if let Some(tx) = self.stats.tx_bytes.get(from) {
+                tx.add(bytes);
+            }
+            self.stats.rx_bytes[to].add(bytes);
+            #[cfg(feature = "telemetry")]
+            ttg_telemetry::instant(
+                Some(to as u32),
+                "comm",
+                "am",
+                &[("from", from as u64), ("bytes", bytes)],
+            );
         } else {
-            self.stats.local_deliveries.fetch_add(1, Ordering::Relaxed);
+            self.stats.local_deliveries.inc();
         }
         self.in_flight.fetch_add(1, Ordering::SeqCst);
         self.senders[to]
@@ -247,10 +311,18 @@ impl Fabric {
             }
         };
         if caller != owner {
-            self.stats.rma_gets.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .rma_bytes
-                .fetch_add(data.len() as u64, Ordering::Relaxed);
+            let bytes = data.len() as u64;
+            self.stats.rma_gets.inc();
+            self.stats.rma_bytes.add(bytes);
+            self.stats.tx_bytes[owner].add(bytes);
+            self.stats.rx_bytes[caller].add(bytes);
+            #[cfg(feature = "telemetry")]
+            ttg_telemetry::instant(
+                Some(caller as u32),
+                "comm",
+                "rma_get",
+                &[("owner", owner as u64), ("bytes", bytes)],
+            );
         }
         if let Some(f) = release {
             f();
@@ -271,12 +343,20 @@ impl Fabric {
     /// Record that a serialization pass happened (for the copy-count
     /// ablation).
     pub fn count_serialization(&self) {
-        self.stats.serializations.fetch_add(1, Ordering::Relaxed);
+        self.stats.serializations.inc();
     }
 
     /// Record a deep data copy performed by a backend.
     pub fn count_data_copy(&self) {
-        self.stats.data_copies.fetch_add(1, Ordering::Relaxed);
+        self.stats.data_copies.inc();
+    }
+
+    /// Record what the optimized broadcast saved versus naive per-key
+    /// sends: `sends_saved` skipped AMs and `bytes_saved` re-serialized
+    /// payload bytes that never had to be produced.
+    pub fn count_broadcast_dedup(&self, sends_saved: u64, bytes_saved: u64) {
+        self.stats.bcast_sends_saved.add(sends_saved);
+        self.stats.bcast_bytes_saved.add(bytes_saved);
     }
 }
 
@@ -383,6 +463,35 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn stats_and_registry_share_cells() {
+        let fabric = Fabric::new(2);
+        let _rx = fabric.take_receiver(1);
+        fabric.send_am(0, 1, 3, vec![7u8; 40]);
+        fabric.count_serialization();
+        fabric.count_broadcast_dedup(5, 320);
+
+        let legacy = fabric.stats().snapshot();
+        let reg = fabric.telemetry().snapshot();
+        assert_eq!(
+            reg.counter(&MetricKey::global("comm", "am_count")),
+            legacy.am_count
+        );
+        assert_eq!(reg.counter(&MetricKey::global("comm", "am_bytes")), 40);
+        assert_eq!(
+            reg.counter(&MetricKey::global("comm", "serializations")),
+            legacy.serializations
+        );
+        assert_eq!(
+            reg.counter(&MetricKey::global("comm", "bcast_sends_saved")),
+            5
+        );
+        assert_eq!(legacy.bcast_bytes_saved, 320);
+        assert_eq!(reg.counter(&MetricKey::ranked(0, "comm", "tx_bytes")), 40);
+        assert_eq!(reg.counter(&MetricKey::ranked(1, "comm", "rx_bytes")), 40);
+        assert_eq!(reg.counter(&MetricKey::ranked(1, "comm", "tx_bytes")), 0);
     }
 
     #[test]

@@ -5,10 +5,79 @@ use std::sync::{Arc, OnceLock};
 
 use ttg_comm::Fabric;
 use ttg_runtime::{Quiescence, WorkerPool};
+use ttg_telemetry::{Counter, MetricKey};
 
 use crate::backend::BackendSpec;
 use crate::node::AnyNode;
 use crate::trace::TraceRecorder;
+
+/// Per-rank core-layer counters, registered in the fabric's telemetry
+/// registry under subsystem `"core"` so they appear in the same snapshot
+/// as the comm and scheduler metrics.
+pub struct CoreMetrics {
+    activations: Vec<Counter>,
+    reducer_folds: Vec<Counter>,
+    local_copies: Vec<Counter>,
+    local_shared: Vec<Counter>,
+}
+
+impl CoreMetrics {
+    fn new(fabric: &Fabric) -> Self {
+        let reg = fabric.telemetry();
+        let n = fabric.num_ranks();
+        let per_rank = |name: &'static str| -> Vec<Counter> {
+            (0..n)
+                .map(|r| reg.counter(MetricKey::ranked(r, "core", name)))
+                .collect()
+        };
+        CoreMetrics {
+            activations: per_rank("activations"),
+            reducer_folds: per_rank("reducer_folds"),
+            local_copies: per_rank("local_copies"),
+            local_shared: per_rank("local_shared"),
+        }
+    }
+
+    /// A task instance became ready and was submitted on `rank`.
+    pub fn count_activation(&self, rank: usize) {
+        self.activations[rank].inc();
+    }
+
+    /// A streaming reducer folded one message on `rank`.
+    pub fn count_reducer_fold(&self, rank: usize) {
+        self.reducer_folds[rank].inc();
+    }
+
+    /// A local delivery deep-copied the value (MADNESS-like `Copy` mode).
+    pub fn count_local_copy(&self, rank: usize) {
+        self.local_copies[rank].inc();
+    }
+
+    /// A local delivery passed the value zero-copy (move or shared `Arc`).
+    pub fn count_local_shared(&self, rank: usize) {
+        self.local_shared[rank].inc();
+    }
+
+    /// Task activations so far on `rank`.
+    pub fn activations(&self, rank: usize) -> u64 {
+        self.activations[rank].get()
+    }
+
+    /// Reducer folds so far on `rank`.
+    pub fn reducer_folds(&self, rank: usize) -> u64 {
+        self.reducer_folds[rank].get()
+    }
+
+    /// Local deep copies so far on `rank`.
+    pub fn local_copies(&self, rank: usize) -> u64 {
+        self.local_copies[rank].get()
+    }
+
+    /// Zero-copy local deliveries so far on `rank`.
+    pub fn local_shared(&self, rank: usize) -> u64 {
+        self.local_shared[rank].get()
+    }
+}
 
 /// Everything a task or a delivery path needs at run time: the fabric, the
 /// per-rank pools, the backend configuration, the quiescence tracker, and
@@ -26,12 +95,15 @@ pub struct RuntimeCtx {
     pub trace: Option<TraceRecorder>,
     /// All template-task nodes, indexed by node id (set once).
     pub nodes: OnceLock<Vec<Arc<dyn AnyNode>>>,
+    /// Core-layer counters (activations, folds, local-pass behavior).
+    pub metrics: CoreMetrics,
     next_task: AtomicU64,
 }
 
 impl RuntimeCtx {
     /// Create a context over `fabric` with the given backend.
     pub fn new(fabric: Arc<Fabric>, backend: BackendSpec, trace: bool) -> Arc<Self> {
+        let metrics = CoreMetrics::new(&fabric);
         Arc::new(RuntimeCtx {
             fabric,
             pools: OnceLock::new(),
@@ -43,6 +115,7 @@ impl RuntimeCtx {
                 None
             },
             nodes: OnceLock::new(),
+            metrics,
             next_task: AtomicU64::new(1),
         })
     }

@@ -137,26 +137,26 @@ impl<K: Key, V: Data> PortImpl<K, V> {
         match ctx.backend.local_pass {
             LocalPass::Copy => {
                 // MADNESS-like: every consumer gets a private deep copy.
-                let n = keys.len();
-                for (i, k) in keys.iter().enumerate() {
-                    let val = if i + 1 == n {
-                        // The last key may take the original without a copy
-                        // only when the value was already copied for us;
-                        // count it as a copy regardless to model the
-                        // backend's always-copy semantics.
-                        ctx.fabric.count_data_copy();
-                        ErasedVal::Owned(Box::new(v.clone()))
-                    } else {
-                        ctx.fabric.count_data_copy();
-                        ErasedVal::Owned(Box::new(v.clone()))
-                    };
-                    node.insert(rank, t, k.clone(), val, dep, ctx);
+                // Even the last key, which could take the original by move,
+                // is counted as a copy to model always-copy semantics.
+                for k in keys {
+                    ctx.fabric.count_data_copy();
+                    ctx.metrics.count_local_copy(rank);
+                    node.insert(
+                        rank,
+                        t,
+                        k.clone(),
+                        ErasedVal::Owned(Box::new(v.clone())),
+                        dep,
+                        ctx,
+                    );
                 }
             }
             LocalPass::Share => {
                 // PaRSEC-like: the runtime owns the datum; consumers share
                 // an Arc and copy-on-write only if they mutate while shared.
                 if keys.len() == 1 {
+                    ctx.metrics.count_local_shared(rank);
                     node.insert(
                         rank,
                         t,
@@ -168,11 +168,14 @@ impl<K: Key, V: Data> PortImpl<K, V> {
                 } else {
                     let arc: Arc<V> = Arc::new(v);
                     for k in keys {
+                        ctx.metrics.count_local_shared(rank);
                         node.insert(
                             rank,
                             t,
                             k.clone(),
-                            ErasedVal::Shared(Arc::clone(&arc) as Arc<dyn std::any::Any + Send + Sync>),
+                            ErasedVal::Shared(
+                                Arc::clone(&arc) as Arc<dyn std::any::Any + Send + Sync>
+                            ),
                             dep,
                             ctx,
                         );
@@ -221,18 +224,23 @@ impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
         }
 
         // Remote ranks first (they borrow `v`), local delivery consumes it.
-        let remote: Vec<&(usize, Vec<K>)> =
-            groups.iter().filter(|(r, _)| *r != src_rank).collect();
+        let remote: Vec<&(usize, Vec<K>)> = groups.iter().filter(|(r, _)| *r != src_rank).collect();
         if !remote.is_empty() {
+            // Savings of the per-rank protocols over the naive one: the
+            // naive path serializes and sends once per destination *key*,
+            // the optimized paths once per destination *rank*.
+            let remote_keys: usize = remote.iter().map(|(_, ks)| ks.len()).sum();
+            let sends_saved = (remote_keys - remote.len()) as u64;
             let use_splitmd = V::KIND == WireKind::SplitMd && ctx.backend.supports_splitmd;
             if use_splitmd {
                 // Stage 1: register the contiguous payload once for all
                 // destination ranks, send only metadata eagerly.
                 let payload = Arc::new(v.split_payload().unwrap_or_default());
+                let payload_len = payload.len() as u64;
                 ctx.fabric.count_serialization();
-                let region =
-                    ctx.fabric
-                        .register_region(src_rank, payload, remote.len(), None);
+                let region = ctx
+                    .fabric
+                    .register_region(src_rank, payload, remote.len(), None);
                 for (dest, ks) in &remote {
                     let mut b = WriteBuf::new();
                     am_header(&mut b, from_task, MSG_DATA_SPLITMD, self.terminal);
@@ -246,6 +254,10 @@ impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
                     v.split_encode_md(&mut b);
                     ctx.fabric.send_am(src_rank, *dest, node.id, b.into_vec());
                 }
+                if sends_saved > 0 {
+                    ctx.fabric
+                        .count_broadcast_dedup(sends_saved, sends_saved * payload_len);
+                }
             } else if ctx.backend.optimized_broadcast {
                 // Serialize the value once per *send*, reuse for every rank
                 // (paper §II-A broadcast optimization).
@@ -253,6 +265,10 @@ impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
                 ctx.fabric.count_serialization();
                 for (dest, ks) in &remote {
                     self.send_inline(&node, *dest, ks, &value_bytes, from_task, src_rank, ctx);
+                }
+                if sends_saved > 0 {
+                    ctx.fabric
+                        .count_broadcast_dedup(sends_saved, sends_saved * value_bytes.len() as u64);
                 }
             } else {
                 // Naive path: one serialization (and one AM) per key.

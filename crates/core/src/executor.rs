@@ -70,6 +70,8 @@ pub struct ExecReport {
     pub per_node: Vec<(&'static str, u64)>,
     /// Task trace, when tracing was enabled.
     pub trace: Option<Vec<TaskEvent>>,
+    /// Full telemetry snapshot (comm, sched, core subsystems) at finish.
+    pub telemetry: ttg_telemetry::Snapshot,
 }
 
 /// A running TTG execution.
@@ -88,11 +90,12 @@ impl Executor {
 
         let pools: Vec<WorkerPool> = (0..cfg.ranks)
             .map(|r| {
-                WorkerPool::new(
+                WorkerPool::with_telemetry(
                     cfg.workers_per_rank,
                     cfg.backend.scheduler,
                     Arc::clone(&ctx.quiescence),
                     &format!("r{r}"),
+                    Some((fabric.telemetry(), r)),
                 )
             })
             .collect();
@@ -166,9 +169,7 @@ impl Executor {
         loop {
             if self.ctx.fabric.packets_in_flight() == 0 && self.ctx.quiescence.is_quiescent() {
                 // Confirm: no packet appeared while probing the pools.
-                if self.ctx.fabric.packets_in_flight() == 0
-                    && self.ctx.quiescence.is_quiescent()
-                {
+                if self.ctx.fabric.packets_in_flight() == 0 && self.ctx.quiescence.is_quiescent() {
                     return;
                 }
             }
@@ -200,6 +201,7 @@ impl Executor {
             tasks,
             per_node,
             trace: self.ctx.trace.as_ref().map(|t| t.take()),
+            telemetry: self.ctx.fabric.telemetry().snapshot(),
         }
     }
 }

@@ -131,9 +131,7 @@ impl<K: Key, VS: 'static, TS> TtHandle<K, VS, TS> {
     {
         type V<VS, const I: usize> = <VS as ValueAt<I>>::V;
         let init = Arc::new(|ev: ErasedVal| {
-            let (v, _copied) = ev
-                .take::<V<VS, I>>()
-                .expect("reducer init type mismatch");
+            let (v, _copied) = ev.take::<V<VS, I>>().expect("reducer init type mismatch");
             Box::new(v) as Box<dyn std::any::Any + Send>
         });
         let fold = Arc::new(

@@ -51,6 +51,7 @@ pub mod backend;
 pub mod ctx;
 pub mod edge;
 pub mod executor;
+pub mod export;
 pub mod graph;
 pub mod node;
 pub mod outs;
@@ -62,6 +63,7 @@ pub use backend::BackendSpec;
 pub use ctx::RuntimeCtx;
 pub use edge::{ConsumerPort, Edge, OutTerm};
 pub use executor::{ExecConfig, ExecReport, Executor};
+pub use export::{chrome_trace, layout_task_slices};
 pub use graph::{Graph, GraphBuilder, TtHandle};
 pub use outs::{InRef, Outs};
 pub use trace::{Dep, TaskEvent, TraceRecorder};

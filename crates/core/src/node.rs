@@ -50,10 +50,12 @@ pub struct ReducerSpec {
 /// Fixed (construction-time) per-terminal vtable.
 pub struct InputMeta {
     /// Decode an inline value from an AM.
-    pub decode: Arc<dyn Fn(&mut ReadBuf<'_>) -> Result<Box<dyn Any + Send>, WireError> + Send + Sync>,
+    pub decode:
+        Arc<dyn Fn(&mut ReadBuf<'_>) -> Result<Box<dyn Any + Send>, WireError> + Send + Sync>,
     /// Decode a split-metadata value: metadata cursor + RMA payload bytes.
-    pub decode_splitmd:
-        Arc<dyn Fn(&mut ReadBuf<'_>, &[u8]) -> Result<Box<dyn Any + Send>, WireError> + Send + Sync>,
+    pub decode_splitmd: Arc<
+        dyn Fn(&mut ReadBuf<'_>, &[u8]) -> Result<Box<dyn Any + Send>, WireError> + Send + Sync,
+    >,
     /// Clone an erased boxed value (for multi-key deliveries).
     pub clone_boxed: Arc<dyn Fn(&(dyn Any + Send)) -> Box<dyn Any + Send> + Send + Sync>,
 }
@@ -87,7 +89,7 @@ impl SlotE {
                 expected,
                 finalized,
                 ..
-            } => *finalized || expected.map_or(false, |e| *received >= e),
+            } => *finalized || expected.is_some_and(|e| *received >= e),
         }
     }
 }
@@ -258,7 +260,7 @@ impl<K: Key> NodeInner<K> {
                     finalized,
                 } => {
                     assert!(
-                        !*finalized && expected.map_or(true, |e| *received < e),
+                        !*finalized && expected.is_none_or(|e| *received < e),
                         "stream overrun on terminal {} of {} for key {:?}",
                         terminal,
                         self.name,
@@ -266,7 +268,10 @@ impl<K: Key> NodeInner<K> {
                     );
                     let spec = reducer.expect("stream slot without reducer");
                     match acc {
-                        Some(a) => (spec.op)(a, val),
+                        Some(a) => {
+                            (spec.op)(a, val);
+                            ctx.metrics.count_reducer_fold(rank);
+                        }
                         None => *acc = Some((spec.init)(val)),
                     }
                     *received += 1;
@@ -394,10 +399,16 @@ impl<K: Key> NodeInner<K> {
         let node_id = self.id;
         let name = self.name;
         let executed = Arc::clone(&self.executed);
+        ctx.metrics.count_activation(rank);
         ctx.pool(rank)
             .submit(ttg_runtime::Job::with_priority(prio, move || {
                 let t0 = Instant::now();
-                invoke(k.clone(), vals, task_id, rank, &ctx2);
+                {
+                    #[cfg(feature = "telemetry")]
+                    let _span =
+                        ttg_telemetry::span_for_rank(rank, "task", name).arg("task", task_id);
+                    invoke(k.clone(), vals, task_id, rank, &ctx2);
+                }
                 let measured_ns = t0.elapsed().as_nanos() as u64;
                 executed.fetch_add(1, Ordering::Relaxed);
                 if let Some(tr) = &ctx2.trace {

@@ -27,9 +27,7 @@ pub fn meta_for<V: Data>() -> InputMeta {
             Ok::<_, WireError>(Box::new(v) as Box<dyn Any + Send>)
         }),
         clone_boxed: Arc::new(|b: &(dyn Any + Send)| {
-            let v = b
-                .downcast_ref::<V>()
-                .expect("clone_boxed type mismatch");
+            let v = b.downcast_ref::<V>().expect("clone_boxed type mismatch");
             Box::new(v.clone()) as Box<dyn Any + Send>
         }),
     }

@@ -166,7 +166,13 @@ fn many_ranks_few_keys() {
     // More ranks than work: most pools idle; must still terminate quickly.
     let e: Edge<u32, u64> = Edge::new("e");
     let mut g = GraphBuilder::new();
-    let tt = g.make_tt("one", (e,), (), |k: &u32| *k as usize, |_, (_x,): (u64,), _| {});
+    let tt = g.make_tt(
+        "one",
+        (e,),
+        (),
+        |k: &u32| *k as usize,
+        |_, (_x,): (u64,), _| {},
+    );
     let exec = Executor::new(g.build(), ExecConfig::distributed(16, 1, backend()));
     tt.in_ref::<0>().seed(exec.ctx(), 3, 1);
     let report = exec.finish();

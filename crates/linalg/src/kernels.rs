@@ -187,7 +187,11 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn random_tile(rng: &mut impl Rng, rows: usize, cols: usize) -> Tile {
-        Tile::from_data(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        Tile::from_data(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
     }
 
     fn gemm_naive(alpha: f64, a: &Tile, b_t: bool, b: &Tile, c: &mut Tile) {

@@ -166,7 +166,7 @@ impl Dist2D {
     /// Build a near-square grid for `ranks` processes.
     pub fn for_ranks(ranks: usize) -> Self {
         let mut p = (ranks as f64).sqrt() as usize;
-        while p > 1 && ranks % p != 0 {
+        while p > 1 && !ranks.is_multiple_of(p) {
             p -= 1;
         }
         let p = p.max(1);

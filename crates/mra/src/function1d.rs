@@ -108,11 +108,8 @@ impl Mra1 {
         let mut details = HashMap::new();
         let mut max_n = leaves.keys().map(|(n, _)| *n).max().unwrap_or(0);
         while max_n > 0 {
-            let level_nodes: Vec<Node1> = s_at
-                .keys()
-                .filter(|(n, _)| *n == max_n)
-                .cloned()
-                .collect();
+            let level_nodes: Vec<Node1> =
+                s_at.keys().filter(|(n, _)| *n == max_n).cloned().collect();
             let mut parents: Vec<Node1> = level_nodes.iter().map(|(n, l)| (n - 1, l / 2)).collect();
             parents.sort_unstable();
             parents.dedup();

@@ -141,11 +141,11 @@ impl Mra3 {
         let mut s = vec![0.0; k * k * k];
         for g in f {
             let mut sd: [Vec<f64>; 3] = [vec![], vec![], vec![]];
-            for d in 0..3 {
+            for (d, sd_d) in sd.iter_mut().enumerate() {
                 let c = g.center[d];
                 let e = g.expnt;
                 let f1 = move |x: f64| (-e * (x - c) * (x - c)).exp();
-                sd[d] = self.mra1.project_box(&f1, node.n, node.l[d] as u64);
+                *sd_d = self.mra1.project_box(&f1, node.n, node.l[d] as u64);
             }
             for iz in 0..k {
                 for iy in 0..k {
@@ -316,8 +316,8 @@ impl Mra3 {
     /// and measure the detail norm. Returns (children, detail_norm).
     pub fn project_children(&self, f: &[Gaussian3], node: Node3) -> ([Coeffs3; 8], f64) {
         let mut children: [Coeffs3; 8] = Default::default();
-        for c in 0..8 {
-            children[c] = self.project_box(f, node.child(c));
+        for (c, child) in children.iter_mut().enumerate() {
+            *child = self.project_box(f, node.child(c));
         }
         let full = self.compress8(&children);
         let (_s, d) = self.split_sd(full);
@@ -480,7 +480,9 @@ mod tests {
         let k3 = 64;
         let mut children: [Coeffs3; 8] = Default::default();
         for (c, block) in children.iter_mut().enumerate() {
-            *block = (0..k3).map(|i| ((c * k3 + i) as f64 * 0.37).sin()).collect();
+            *block = (0..k3)
+                .map(|i| ((c * k3 + i) as f64 * 0.37).sin())
+                .collect();
         }
         let full = mra.compress8(&children);
         let rec = mra.reconstruct8(&full);

@@ -112,7 +112,10 @@ mod tests {
             } else {
                 0.0
             };
-            assert!((num - exact).abs() < 1e-12, "degree {deg}: {num} vs {exact}");
+            assert!(
+                (num - exact).abs() < 1e-12,
+                "degree {deg}: {num} vs {exact}"
+            );
         }
     }
 

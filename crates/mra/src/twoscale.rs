@@ -159,10 +159,7 @@ mod tests {
                 for b in 0..2 * k {
                     let expect = if a == b { 1.0 } else { 0.0 };
                     let got = dot(&m[a], &m[b]);
-                    assert!(
-                        (got - expect).abs() < 1e-10,
-                        "k={k} ({a},{b}): {got}"
-                    );
+                    assert!((got - expect).abs() < 1e-10, "k={k} ({a},{b}): {got}");
                 }
             }
         }

@@ -15,10 +15,11 @@ use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam_deque::{Injector, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
+use ttg_telemetry::{Counter, Gauge, MetricKey, Registry};
 
 use crate::quiesce::Quiescence;
 
@@ -82,6 +83,43 @@ impl Ord for PrioJob {
     }
 }
 
+/// Scheduler counters, registered under subsystem `"sched"` when the pool
+/// is created with a telemetry registry (standalone cells otherwise, so
+/// counting always works and export is opt-in).
+struct PoolMetrics {
+    /// Jobs accepted by `submit`.
+    submitted: Counter,
+    /// Jobs executed to completion.
+    executed: Counter,
+    /// Successful steals from a peer worker's deque.
+    steals: Counter,
+    /// Nanoseconds workers spent parked waiting for work.
+    idle_ns: Counter,
+    /// Jobs submitted but not yet picked up for execution.
+    queue_depth: Gauge,
+}
+
+impl PoolMetrics {
+    fn new(registry: Option<(&Registry, usize)>) -> Self {
+        match registry {
+            Some((reg, rank)) => PoolMetrics {
+                submitted: reg.counter(MetricKey::ranked(rank, "sched", "submitted")),
+                executed: reg.counter(MetricKey::ranked(rank, "sched", "executed")),
+                steals: reg.counter(MetricKey::ranked(rank, "sched", "steals")),
+                idle_ns: reg.counter(MetricKey::ranked(rank, "sched", "idle_ns")),
+                queue_depth: reg.gauge(MetricKey::ranked(rank, "sched", "queue_depth")),
+            },
+            None => PoolMetrics {
+                submitted: Counter::default(),
+                executed: Counter::default(),
+                steals: Counter::default(),
+                idle_ns: Counter::default(),
+                queue_depth: Gauge::default(),
+            },
+        }
+    }
+}
+
 struct Shared {
     injector: Injector<Job>,
     stealers: Vec<Stealer<Job>>,
@@ -90,7 +128,7 @@ struct Shared {
     kind: SchedulerKind,
     shutdown: AtomicBool,
     seq: AtomicU64,
-    executed: AtomicU64,
+    metrics: PoolMetrics,
     sleep_lock: Mutex<()>,
     wake: Condvar,
     quiescence: Arc<Quiescence>,
@@ -122,7 +160,10 @@ impl Shared {
                 for stealer in &self.stealers {
                     loop {
                         match stealer.steal() {
-                            crossbeam_deque::Steal::Success(job) => return Some(job),
+                            crossbeam_deque::Steal::Success(job) => {
+                                self.metrics.steals.inc();
+                                return Some(job);
+                            }
                             crossbeam_deque::Steal::Retry => continue,
                             crossbeam_deque::Steal::Empty => break,
                         }
@@ -144,12 +185,26 @@ impl WorkerPool {
     /// Spawn `workers` threads with the given scheduling discipline.
     ///
     /// Every submitted job is tracked in `quiescence` from submission until
-    /// it finishes executing.
+    /// it finishes executing. Scheduler metrics count into standalone cells;
+    /// use [`WorkerPool::with_telemetry`] to register them for export.
     pub fn new(
         workers: usize,
         kind: SchedulerKind,
         quiescence: Arc<Quiescence>,
         name: &str,
+    ) -> Self {
+        Self::with_telemetry(workers, kind, quiescence, name, None)
+    }
+
+    /// Like [`WorkerPool::new`], but registers the pool's scheduler metrics
+    /// (`submitted`, `executed`, `steals`, `idle_ns`, `queue_depth`) in
+    /// `registry` under subsystem `"sched"`, attributed to `rank`.
+    pub fn with_telemetry(
+        workers: usize,
+        kind: SchedulerKind,
+        quiescence: Arc<Quiescence>,
+        name: &str,
+        registry: Option<(&Registry, usize)>,
     ) -> Self {
         assert!(workers > 0, "pool needs at least one worker");
         let locals: Vec<Worker<Job>> = (0..workers).map(|_| Worker::new_lifo()).collect();
@@ -162,7 +217,7 @@ impl WorkerPool {
             kind,
             shutdown: AtomicBool::new(false),
             seq: AtomicU64::new(0),
-            executed: AtomicU64::new(0),
+            metrics: PoolMetrics::new(registry),
             sleep_lock: Mutex::new(()),
             wake: Condvar::new(),
             quiescence,
@@ -173,17 +228,28 @@ impl WorkerPool {
             let tname = format!("{name}-w{i}");
             threads.push(
                 std::thread::Builder::new()
-                    .name(tname)
-                    .spawn(move || worker_loop(shared, local))
+                    .name(tname.clone())
+                    .spawn(move || {
+                        #[cfg(feature = "telemetry")]
+                        ttg_telemetry::span::name_current_thread(tname);
+                        #[cfg(not(feature = "telemetry"))]
+                        drop(tname);
+                        worker_loop(shared, local)
+                    })
                     .expect("failed to spawn worker"),
             );
         }
-        WorkerPool { shared, threads: Mutex::new(threads) }
+        WorkerPool {
+            shared,
+            threads: Mutex::new(threads),
+        }
     }
 
     /// Submit a job for execution.
     pub fn submit(&self, job: Job) {
         self.shared.quiescence.activity_started();
+        self.shared.metrics.submitted.inc();
+        self.shared.metrics.queue_depth.add(1);
         match self.shared.kind {
             SchedulerKind::Central => self.shared.central.lock().push_back(job),
             SchedulerKind::WorkStealing => {
@@ -204,7 +270,22 @@ impl WorkerPool {
 
     /// Total jobs executed so far.
     pub fn executed(&self) -> u64 {
-        self.shared.executed.load(Ordering::Relaxed)
+        self.shared.metrics.executed.get()
+    }
+
+    /// Successful steals from peer deques (work-stealing pools only).
+    pub fn steals(&self) -> u64 {
+        self.shared.metrics.steals.get()
+    }
+
+    /// Total nanoseconds workers have spent parked waiting for work.
+    pub fn idle_ns(&self) -> u64 {
+        self.shared.metrics.idle_ns.get()
+    }
+
+    /// Jobs submitted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> i64 {
+        self.shared.metrics.queue_depth.get()
     }
 
     /// Stop accepting progress and join all workers. Pending jobs are
@@ -238,8 +319,9 @@ impl WorkerPool {
 fn worker_loop(shared: Arc<Shared>, local: Worker<Job>) {
     loop {
         if let Some(job) = shared.find_job(&local) {
+            shared.metrics.queue_depth.add(-1);
             (job.f)();
-            shared.executed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.executed.inc();
             shared.quiescence.activity_finished();
             continue;
         }
@@ -248,10 +330,15 @@ fn worker_loop(shared: Arc<Shared>, local: Worker<Job>) {
         }
         // Nothing found: sleep until a submit or shutdown, with a timeout as
         // a safety net against missed wakeups across the steal race.
-        let mut guard = shared.sleep_lock.lock();
+        let parked = Instant::now();
+        {
+            let mut guard = shared.sleep_lock.lock();
+            shared.wake.wait_for(&mut guard, Duration::from_millis(1));
+        }
         shared
-            .wake
-            .wait_for(&mut guard, Duration::from_millis(1));
+            .metrics
+            .idle_ns
+            .add(parked.elapsed().as_nanos() as u64);
     }
 }
 
@@ -350,6 +437,47 @@ mod tests {
         gate.store(true, Ordering::SeqCst);
         q.wait_quiescent();
         assert_eq!(*order.lock(), vec!["high", "mid", "low"]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn metrics_track_submissions_steals_and_idle() {
+        let reg = Registry::new();
+        let q = Arc::new(Quiescence::new());
+        let pool = WorkerPool::with_telemetry(
+            4,
+            SchedulerKind::WorkStealing,
+            Arc::clone(&q),
+            "metrics",
+            Some((&reg, 2)),
+        );
+        let counter = Arc::new(AtomicUsize::new(0));
+        // Submit jobs that themselves spawn children so local deques fill
+        // and peers have something to steal.
+        for _ in 0..64 {
+            let c = Arc::clone(&counter);
+            pool.submit(Job::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_micros(50));
+            }));
+        }
+        q.wait_quiescent();
+        // Workers had to park at least once before work arrived.
+        std::thread::sleep(Duration::from_millis(3));
+
+        assert_eq!(pool.executed(), 64);
+        assert_eq!(pool.queue_depth(), 0);
+        assert!(pool.idle_ns() > 0, "workers never recorded idle time");
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter(&MetricKey::ranked(2, "sched", "submitted")),
+            64
+        );
+        assert_eq!(snap.counter(&MetricKey::ranked(2, "sched", "executed")), 64);
+        assert_eq!(
+            snap.counter(&MetricKey::ranked(2, "sched", "steals")),
+            pool.steals()
+        );
         pool.shutdown();
     }
 

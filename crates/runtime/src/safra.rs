@@ -241,7 +241,7 @@ mod tests {
     fn active_rank_holds_the_token() {
         let ring = SafraRing::new(2);
         // Rank 0 passive, rank 1 active: token parks at rank 1.
-        assert!(ring.rank(0).try_forward(true).is_some() || true);
+        let _ = ring.rank(0).try_forward(true);
         // Restart cleanly: fresh ring, rank 1 never passive.
         let ring = SafraRing::new(2);
         let mut forwarded_to_1 = false;

@@ -179,8 +179,7 @@ pub fn simulate(tasks: &[TraceTask], machine: &MachineModel) -> SimResult {
                         } else if msg != 0 && shared_arrivals.contains_key(&msg) {
                             shared_arrivals[&msg]
                         } else {
-                            let begin =
-                                done_at.max(nic_out[src_node]).max(nic_in[dst_node]);
+                            let begin = done_at.max(nic_out[src_node]).max(nic_in[dst_node]);
                             let dur = machine.transfer_ns(bytes);
                             let end = begin + dur;
                             nic_out[src_node] = end;
@@ -246,12 +245,20 @@ mod tests {
             .map(|id| TraceTask {
                 id,
                 priority: 0,
-                rank: if alternate_ranks { (id % 2) as usize } else { 0 },
+                rank: if alternate_ranks {
+                    (id % 2) as usize
+                } else {
+                    0
+                },
                 cost_ns: cost,
                 deps: vec![(
                     id - 1,
                     if id > 1 { bytes } else { 0 },
-                    if alternate_ranks { ((id + 1) % 2) as usize } else { 0 },
+                    if alternate_ranks {
+                        ((id + 1) % 2) as usize
+                    } else {
+                        0
+                    },
                     0,
                 )],
             })
@@ -365,7 +372,7 @@ mod tests {
         let m = machine(2, 4);
         let r = simulate(&tasks, &m);
         let one_transfer = m.transfer_ns(100_000); // 1000 + 10_000
-        // Second consumer cannot start before both serialized transfers.
+                                                   // Second consumer cannot start before both serialized transfers.
         assert!(r.makespan_ns >= 10 + 2 * one_transfer);
         assert_eq!(r.network_msgs, 2);
     }

@@ -1,0 +1,249 @@
+//! Tiny JSON utilities: string escaping for the serializers and a strict
+//! validator used by tests and by consumers that want to assert exported
+//! artifacts are well-formed without pulling in a JSON dependency.
+
+/// Escape `s` as the *contents* of a JSON string literal (no quotes added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validate that `s` is a single well-formed JSON value (strict RFC 8259
+/// subset: no trailing garbage, no trailing commas, `NaN`/`Infinity`
+/// rejected). Returns the byte offset of the first error.
+pub fn validate(s: &str) -> Result<(), (usize, String)> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err((p.i, "trailing characters after JSON value".into()));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err<T>(&self, msg: &str) -> Result<T, (usize, String)> {
+        Err((self.i, msg.into()))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), (usize, String)> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", c as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), (usize, String)> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), (usize, String)> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected '{lit}'"))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), (usize, String)> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or '}' in object"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), (usize, String)> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or ']' in array"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), (usize, String)> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return self.err("bad \\u escape"),
+                                }
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                }
+                Some(c) if c < 0x20 => return self.err("raw control character in string"),
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), (usize, String)> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.i += 1,
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.i += 1;
+                }
+            }
+            _ => return self.err("bad number"),
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return self.err("bad fraction");
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return self.err("bad exponent");
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn validates_good_json() {
+        for s in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            r#"{"a":[1,2,{"b":"c\nd"}],"e":null,"f":false}"#,
+            "  [ 1 , 2 ]  ",
+        ] {
+            assert!(validate(s).is_ok(), "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_json() {
+        for s in [
+            "",
+            "{",
+            "[1,]",
+            "{'a':1}",
+            "{\"a\":1,}",
+            "[1] extra",
+            "NaN",
+            "01",
+            "\"\u{1}\"",
+        ] {
+            assert!(validate(s).is_err(), "{s}");
+        }
+    }
+}

@@ -12,7 +12,11 @@ fn main() {
     let nt = 8;
     let nb = 32;
     let a = TiledMatrix::random_spd(nt, nb, 42);
-    println!("factoring a {}×{} SPD matrix ({nt}×{nt} tiles of {nb}²)", a.n(), a.n());
+    println!(
+        "factoring a {}×{} SPD matrix ({nt}×{nt} tiles of {nb}²)",
+        a.n(),
+        a.n()
+    );
 
     for backend in [ttg::parsec::backend(), ttg::madness::backend()] {
         let name = backend.name;

@@ -39,11 +39,7 @@ fn main() {
 
     // Project both implementations onto 4 Hawk-like nodes.
     let machine = MachineModel::hawk(4);
-    let ttg_ns = simulate(
-        &from_core_trace(report.trace.as_ref().unwrap()),
-        &machine,
-    )
-    .makespan_ns;
+    let ttg_ns = simulate(&from_core_trace(report.trace.as_ref().unwrap()), &machine).makespan_ns;
     let (d2, trace) = fw::mpi_openmp::run(&g, 4);
     assert!(d2.max_abs_diff(&expect) < 1e-12);
     let mpi_ns = simulate(&trace, &machine).makespan_ns;

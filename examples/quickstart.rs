@@ -66,10 +66,7 @@ fn main() {
     let mut out = results.lock().unwrap().clone();
     out.sort_by_key(|(k, _)| *k);
     println!("per-key stream sums: {out:?}");
-    println!(
-        "tasks executed: {} ({:?})",
-        report.tasks, report.per_node
-    );
+    println!("tasks executed: {} ({:?})", report.tasks, report.per_node);
     println!(
         "inter-rank messages: {} ({} bytes)",
         report.comm.am_count,

@@ -1,0 +1,319 @@
+//! Minimal wall-clock micro-benchmark harness exposing the `criterion` API
+//! subset used by the `ttg-bench` benches (`Criterion`, `BenchmarkGroup`,
+//! `Bencher::{iter, iter_batched}`, `BenchmarkId`, `Throughput`,
+//! `criterion_group!`, `criterion_main!`). The image cannot reach crates.io,
+//! so the real crate is replaced at the workspace level.
+//!
+//! Methodology: per benchmark, a warm-up phase calibrates the per-iteration
+//! cost, then `sample_size` samples are measured, each running enough
+//! iterations to fill `measurement_time / sample_size`. Mean / min / max
+//! per-iteration times are printed; no statistics files are written.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(1000),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark outside a group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        run_one(self, &name, None, f);
+    }
+}
+
+/// Identifier of one benchmark within a group: function name + parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Declared throughput, used to report rates alongside times.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Benchmark `f` with `input`, labeled by `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.c, &label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f` labeled by `id` (no input).
+    pub fn bench_function(&mut self, id: BenchmarkId, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.c, &label, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (printing is incremental; nothing extra to flush).
+    pub fn finish(self) {}
+}
+
+/// Controls batching of setup vs. measured routine in `iter_batched`.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: one setup per measured call.
+    SmallInput,
+    /// Large per-iteration inputs: one setup per measured call.
+    LargeInput,
+    /// One setup per measured call.
+    PerIteration,
+}
+
+/// Passed to benchmark closures; records the measured routine.
+pub struct Bencher {
+    /// Iterations to run in the current sample.
+    iters: u64,
+    /// Accumulated measured time for the current sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` for the sample's iteration count.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += t0.elapsed();
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+        }
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(
+    c: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up + calibration: run single-iteration samples until the warm-up
+    // budget is spent, tracking the observed per-iteration cost.
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < c.warm_up_time || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = if warm_iters == 0 {
+            b.elapsed
+        } else {
+            (per_iter + b.elapsed) / 2
+        };
+        warm_iters += 1;
+    }
+
+    let per_sample = c.measurement_time / c.sample_size as u32;
+    let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed / iters as u32);
+    }
+    samples.sort();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let min = samples[0];
+    let max = *samples.last().unwrap();
+    let rate = throughput.map(|t| {
+        let per_s = |n: u64| n as f64 / mean.as_secs_f64();
+        match t {
+            Throughput::Elements(n) => format!("  {:.3e} elem/s", per_s(n)),
+            Throughput::Bytes(n) => format!("  {:.3e} B/s", per_s(n)),
+        }
+    });
+    println!(
+        "{label:<50} time: [{} {} {}]  ({} samples x {} iters){}",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        c.sample_size,
+        iters,
+        rate.unwrap_or_default(),
+    );
+}
+
+/// Declare a benchmark group the way the real criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        let mut count = 0u64;
+        group.bench_with_input(BenchmarkId::new("count", 1), &(), |b, _| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_fresh_inputs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 16],
+                |mut v| {
+                    v[0] = 2;
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

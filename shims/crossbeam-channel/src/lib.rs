@@ -1,0 +1,100 @@
+//! Minimal stand-in for the `crossbeam-channel` subset used by this
+//! workspace (`unbounded`, `Sender`, `Receiver`), built on `std::sync::mpsc`.
+//! The container image cannot reach crates.io, so the real crate is replaced
+//! by this shim at the workspace level.
+
+use std::fmt;
+use std::sync::mpsc;
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+/// Sending half of an unbounded channel.
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender")
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send a message; fails only if all receivers are gone.
+    pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+        self.inner.send(t)
+    }
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv()
+    }
+
+    /// Iterate over received messages until the channel closes.
+    pub fn iter(&self) -> mpsc::Iter<'_, T> {
+        self.inner.iter()
+    }
+}
+
+/// Create an unbounded MPSC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_clone() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        drop((tx, tx2));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn cross_thread() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        t.join().unwrap();
+    }
+}

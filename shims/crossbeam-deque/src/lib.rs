@@ -1,0 +1,212 @@
+//! Minimal stand-in for the `crossbeam-deque` work-stealing primitives used
+//! by the scheduler (`Worker`, `Stealer`, `Injector`, `Steal`). The real
+//! crate uses lock-free Chase–Lev deques; this shim uses short critical
+//! sections over `VecDeque`, which preserves semantics (LIFO owner pops,
+//! FIFO steals, batched injector refills) at laptop scale where the repo's
+//! tests and figure harnesses run. The container image cannot reach
+//! crates.io, so the real crate is replaced at the workspace level.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// A race was lost; retrying may succeed.
+    Retry,
+}
+
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Owner side of a worker deque (LIFO pops, like `Worker::new_lifo`).
+pub struct Worker<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Create a LIFO worker deque.
+    pub fn new_lifo() -> Self {
+        Worker {
+            q: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Push a task onto the owner end.
+    pub fn push(&self, t: T) {
+        lock(&self.q).push_back(t);
+    }
+
+    /// Pop from the owner end (most recently pushed first).
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.q).pop_back()
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.q).is_empty()
+    }
+
+    /// Create a stealer handle for other threads.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            q: Arc::clone(&self.q),
+        }
+    }
+}
+
+/// Thief side of a worker deque (FIFO steals from the cold end).
+pub struct Stealer<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            q: Arc::clone(&self.q),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task from the cold end of the deque.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.q).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// Shared FIFO injector queue for external submissions.
+pub struct Injector<T> {
+    q: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            q: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push a task.
+    pub fn push(&self, t: T) {
+        lock(&self.q).push_back(t);
+    }
+
+    /// Steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.q).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Move a batch of tasks into `dest` and pop one of them.
+    ///
+    /// Mirrors crossbeam's `steal_batch_and_pop`: the returned task is the
+    /// first of the batch; the remainder lands in the destination worker.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = lock(&self.q);
+        let first = match q.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        // Take up to half of what remains (at most 16, like crossbeam's
+        // batch limit) to amortize steals without starving other workers.
+        let n = (q.len() / 2).min(16);
+        if n > 0 {
+            let mut dq = lock(&dest.q);
+            for _ in 0..n {
+                dq.push_back(q.pop_front().unwrap());
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// Whether the injector is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.q).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_lifo_stealer_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3)); // owner: LIFO
+        assert_eq!(s.steal(), Steal::Success(1)); // thief: FIFO
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_batch_refill() {
+        let inj = Injector::new();
+        let w = Worker::new_lifo();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        // Half of the remaining 9 tasks moved over.
+        let mut drained = Vec::new();
+        while let Some(t) = w.pop() {
+            drained.push(t);
+        }
+        assert_eq!(drained.len(), 4);
+        assert!(!inj.is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_lose_nothing() {
+        let inj = Arc::new(Injector::new());
+        for i in 0..1000 {
+            inj.push(i);
+        }
+        let total = Arc::new(Mutex::new(0usize));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let inj = Arc::clone(&inj);
+            let total = Arc::clone(&total);
+            handles.push(std::thread::spawn(move || {
+                let w = Worker::new_lifo();
+                let mut n = 0;
+                loop {
+                    match inj.steal_batch_and_pop(&w) {
+                        Steal::Success(_) => n += 1,
+                        Steal::Retry => continue,
+                        Steal::Empty => break,
+                    }
+                    while w.pop().is_some() {
+                        n += 1;
+                    }
+                }
+                *total.lock().unwrap() += n;
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*total.lock().unwrap(), 1000);
+    }
+}

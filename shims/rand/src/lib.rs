@@ -1,0 +1,207 @@
+//! Minimal stand-in for the `rand` 0.8 API subset used by this workspace:
+//! `Rng::{gen_range, gen_bool, gen}`, `SeedableRng::seed_from_u64`, and the
+//! `RngCore` plumbing needed by the in-repo `rand_chacha` shim. The image
+//! cannot reach crates.io, so the real crate is replaced at the workspace
+//! level. Streams are deterministic per seed but do not bit-match the real
+//! crate (nothing in the repo depends on the upstream streams).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: a stream of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (only the `seed_from_u64` entry point is used).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64 key expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types with a uniform sampler over `[lo, hi)` / `[lo, hi]` (backs
+/// [`Rng::gen_range`]). Mirrors rand's `SampleUniform` so type inference
+/// works in both directions: from the range's element type to the result,
+/// and from an expected result type back into untyped range literals.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample; `inclusive` selects `[lo, hi]` over `[lo, hi)`.
+    fn sample_in<G: RngCore + ?Sized>(g: &mut G, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<G: RngCore + ?Sized>(
+                g: &mut G,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "empty range in gen_range");
+                let v = ((g.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<G: RngCore + ?Sized>(
+                g: &mut G,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                assert!(lo < hi, "empty range in gen_range");
+                let unit = (g.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_uniform!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample_from<G: RngCore + ?Sized>(self, g: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, g: &mut G) -> T {
+        assert!(self.start < self.end, "empty range in gen_range");
+        T::sample_in(g, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, g: &mut G) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range in gen_range");
+        T::sample_in(g, lo, hi, true)
+    }
+}
+
+/// Uniform full-domain sampling (backs [`Rng::gen`]).
+pub trait Standard {
+    /// Draw one sample.
+    fn sample_standard<G: RngCore + ?Sized>(g: &mut G) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        (g.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        (g.next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        g.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        g.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        g.next_u64() & 1 == 1
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of [0,1]");
+        f64::sample_standard(self) < p
+    }
+
+    /// Uniform sample over the full domain of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<G: RngCore + ?Sized> Rng for G {}
+
+/// SplitMix64 step, used for seed expansion by the chacha shim as well.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sm(u64);
+    impl RngCore for Sm {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.0)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut g = Sm(42);
+        for _ in 0..1000 {
+            let v = g.gen_range(-5.0..5.0);
+            assert!((-5.0..5.0).contains(&v));
+            let n = g.gen_range(3usize..17);
+            assert!((3..17).contains(&n));
+            let m = g.gen_range(1u32..=4);
+            assert!((1..=4).contains(&m));
+            let i = g.gen_range(-10i64..-2);
+            assert!((-10..-2).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut g = Sm(7);
+        assert!(!(0..100).any(|_| g.gen_bool(0.0)));
+        assert!((0..100).all(|_| g.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut g = Sm(9);
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut g = Sm(9);
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -16,3 +16,4 @@ pub use ttg_parsec as parsec;
 pub use ttg_runtime as runtime;
 pub use ttg_simnet as simnet;
 pub use ttg_sparse as sparse;
+pub use ttg_telemetry as telemetry;

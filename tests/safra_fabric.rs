@@ -61,7 +61,11 @@ fn safra_detects_termination_over_the_fabric() {
                 // Drain incoming packets.
                 while let Ok(pkt) = rx.try_recv() {
                     match pkt {
-                        Packet::Am { handler, payload, from } => {
+                        Packet::Am {
+                            handler,
+                            payload,
+                            from,
+                        } => {
                             match handler {
                                 AM_BASIC => {
                                     safra.on_receive();
@@ -69,12 +73,7 @@ fn safra_detects_termination_over_the_fabric() {
                                     // Keep the wave alive for 12 hops.
                                     if hops < 12 {
                                         safra.on_send();
-                                        fabric.send_am(
-                                            rank,
-                                            (rank + 1) % n,
-                                            AM_BASIC,
-                                            vec![12],
-                                        );
+                                        fabric.send_am(rank, (rank + 1) % n, AM_BASIC, vec![12]);
                                     }
                                     let _ = from;
                                 }
