@@ -102,7 +102,8 @@ impl<K: Key, V: Data> RtInner<K, V> {
                 },
             );
         } else {
-            let mut b = WriteBuf::new();
+            // from_task(8) + class(4) + key + value.
+            let mut b = WriteBuf::with_capacity(12 + key.wire_size() + v.wire_size());
             b.put_u64(from_task);
             b.put_u32(class as u32);
             key.encode(&mut b);

@@ -1,0 +1,324 @@
+//! Hot-path microbenchmarks: the three code paths every task instance
+//! crosses (matching-table insert, scheduler submit/steal, wire
+//! encode/decode), measured in isolation so regressions show up before
+//! they blur into end-to-end figure numbers.
+//!
+//! Emits `results/bench_hotpath.json` — the repo's perf trajectory file;
+//! future PRs compare against it. Run with `--smoke` for tiny iteration
+//! counts (CI bit-rot guard), `--out <path>` to redirect the JSON.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use criterion::{Criterion, Summary, Throughput};
+use ttg_core::prelude::*;
+use ttg_runtime::{Job, Quiescence, SchedulerKind, WorkerPool};
+
+/// Threads hammering one rank's matching table (the acceptance-criteria
+/// configuration: 4 workers, 1 rank).
+const INSERT_THREADS: usize = 4;
+
+struct Config {
+    smoke: bool,
+    out: String,
+    /// Keys inserted per thread per round.
+    insert_keys: usize,
+    /// Jobs submitted per round.
+    sched_jobs: usize,
+    /// f64 elements per encode/decode round.
+    wire_elems: usize,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let mut smoke = false;
+        let mut out = String::from("results/bench_hotpath.json");
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--smoke" => smoke = true,
+                "--out" => out = args.next().expect("--out needs a path"),
+                other => {
+                    eprintln!("unknown flag {other}; known: --smoke, --out <path>");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if smoke {
+            Config {
+                smoke,
+                out,
+                insert_keys: 200,
+                sched_jobs: 500,
+                wire_elems: 1 << 10,
+            }
+        } else {
+            Config {
+                smoke,
+                out,
+                insert_keys: 5_000,
+                sched_jobs: 50_000,
+                wire_elems: 1 << 16,
+            }
+        }
+    }
+
+    fn criterion(&self) -> Criterion {
+        if self.smoke {
+            Criterion::default()
+                .sample_size(2)
+                .warm_up_time(Duration::from_millis(5))
+                .measurement_time(Duration::from_millis(40))
+        } else {
+            Criterion::default()
+                .sample_size(10)
+                .warm_up_time(Duration::from_millis(200))
+                .measurement_time(Duration::from_millis(1500))
+        }
+    }
+}
+
+/// Contended matching-table inserts: `INSERT_THREADS` threads seed distinct
+/// keys into terminal 0 of a two-input template task on a single rank, so
+/// no task ever completes and the measurement isolates the matching table
+/// itself (hash, lock, slot write).
+fn bench_matching_insert(c: &mut Criterion, keys_per_thread: usize, threads: usize) -> Summary {
+    let total = (keys_per_thread * threads) as u64;
+    let round = Arc::new(AtomicUsize::new(0));
+    c.bench_summary(
+        format!("matching/insert_contended/{threads}t"),
+        Some(Throughput::Elements(total)),
+        |b| {
+            b.iter(|| {
+                let start: Edge<u64, u64> = Edge::new("start");
+                let gate: Edge<u64, u64> = Edge::new("gate");
+                let mut g = GraphBuilder::new();
+                let tt = g.make_tt(
+                    "pending",
+                    (start, gate),
+                    (),
+                    |_k: &u64| 0usize,
+                    |_, (_a, _b): (u64, u64), _| {},
+                );
+                let exec = Executor::new(
+                    g.build(),
+                    ExecConfig::distributed(1, threads, BackendSpec::default_spec()),
+                );
+                // Distinct key ranges per round so re-runs never collide.
+                let base = (round.fetch_add(1, Ordering::Relaxed) as u64) << 32;
+                let barrier = Arc::new(Barrier::new(threads));
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let tt = &tt;
+                        let exec = &exec;
+                        let barrier = Arc::clone(&barrier);
+                        s.spawn(move || {
+                            let lo = base + (t * keys_per_thread) as u64;
+                            barrier.wait();
+                            for k in lo..lo + keys_per_thread as u64 {
+                                tt.in_ref::<0>().seed(exec.ctx(), k, k);
+                            }
+                        });
+                    }
+                });
+                exec.finish().tasks
+            })
+        },
+    )
+}
+
+/// Scheduler submit/steal throughput: one producer floods a 4-worker
+/// work-stealing pool with trivial jobs, measuring submit overhead plus the
+/// injector-refill/steal/park machinery end to end.
+fn bench_sched_submit(c: &mut Criterion, jobs: usize) -> Summary {
+    let q = Arc::new(Quiescence::new());
+    let pool = WorkerPool::new(4, SchedulerKind::WorkStealing, Arc::clone(&q), "bench");
+    let summary = c.bench_summary(
+        "sched/submit_steal/4w",
+        Some(Throughput::Elements(jobs as u64)),
+        |b| {
+            b.iter(|| {
+                let counter = Arc::new(AtomicUsize::new(0));
+                for _ in 0..jobs {
+                    let c = Arc::clone(&counter);
+                    pool.submit(Job::new(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }));
+                }
+                q.wait_quiescent();
+                assert_eq!(counter.load(Ordering::Relaxed), jobs);
+            })
+        },
+    );
+    pool.shutdown();
+    summary
+}
+
+/// Priority-path scheduler throughput: every submitted job carries a
+/// non-zero priority, so each submit and each dispatch crosses the shared
+/// priority heap.
+fn bench_sched_priority(c: &mut Criterion, jobs: usize) -> Summary {
+    let q = Arc::new(Quiescence::new());
+    let pool = WorkerPool::new(4, SchedulerKind::WorkStealing, Arc::clone(&q), "bench-prio");
+    let summary = c.bench_summary(
+        "sched/submit_priority/4w",
+        Some(Throughput::Elements(jobs as u64)),
+        |b| {
+            b.iter(|| {
+                let counter = Arc::new(AtomicUsize::new(0));
+                for i in 0..jobs {
+                    let c = Arc::clone(&counter);
+                    pool.submit(Job::with_priority((i % 7 + 1) as i32, move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }));
+                }
+                q.wait_quiescent();
+                assert_eq!(counter.load(Ordering::Relaxed), jobs);
+            })
+        },
+    );
+    pool.shutdown();
+    summary
+}
+
+/// Archive-protocol bandwidth for a trivial element type: `Vec<f64>`
+/// through `to_bytes`/`from_bytes` (the inline AM payload path).
+fn bench_wire_vec(c: &mut Criterion, elems: usize) -> (Summary, Summary) {
+    let v: Vec<f64> = (0..elems).map(|i| i as f64 * 0.5).collect();
+    let bytes = ttg_comm::to_bytes(&v);
+    let nbytes = bytes.len() as u64;
+    let enc = c.bench_summary(
+        format!("wire/encode_vec_f64/{elems}"),
+        Some(Throughput::Bytes(nbytes)),
+        |b| b.iter(|| ttg_comm::to_bytes(&v)),
+    );
+    let dec = c.bench_summary(
+        format!("wire/decode_vec_f64/{elems}"),
+        Some(Throughput::Bytes(nbytes)),
+        |b| b.iter(|| ttg_comm::from_bytes::<Vec<f64>>(&bytes).unwrap()),
+    );
+    (enc, dec)
+}
+
+/// SplitMd-payload bandwidth: the raw `f64s_to_bytes`/`bytes_to_f64s` pair
+/// used by tile and coefficient payloads.
+fn bench_wire_payload(c: &mut Criterion, elems: usize) -> (Summary, Summary) {
+    let v: Vec<f64> = (0..elems).map(|i| i as f64 * 0.25).collect();
+    let bytes = ttg_comm::f64s_to_bytes(&v);
+    let nbytes = bytes.len() as u64;
+    let enc = c.bench_summary(
+        format!("wire/f64s_to_bytes/{elems}"),
+        Some(Throughput::Bytes(nbytes)),
+        |b| b.iter(|| ttg_comm::f64s_to_bytes(&v)),
+    );
+    let dec = c.bench_summary(
+        format!("wire/bytes_to_f64s/{elems}"),
+        Some(Throughput::Bytes(nbytes)),
+        |b| b.iter(|| ttg_comm::bytes_to_f64s(&bytes)),
+    );
+    (enc, dec)
+}
+
+/// Broadcast routing end to end: one producer broadcasts each value to 16
+/// keys spread over 4 ranks (grouping, serialization, AM delivery, task
+/// launch), exercising `route()`'s group-by and the inline wire path.
+fn bench_broadcast_route(c: &mut Criterion, rounds: usize) -> Summary {
+    c.bench_summary(
+        "route/broadcast_16k_4r",
+        Some(Throughput::Elements((rounds * 16) as u64)),
+        |b| {
+            b.iter(|| {
+                let start: Edge<u32, Vec<f64>> = Edge::new("start");
+                let fan: Edge<u32, Vec<f64>> = Edge::new("fan");
+                let mut g = GraphBuilder::new();
+                let src = g.make_tt(
+                    "src",
+                    (start,),
+                    (fan.clone(),),
+                    |_| 0usize,
+                    |_, (v,): (Vec<f64>,), outs| {
+                        let keys: Vec<u32> = (0..16).collect();
+                        outs.broadcast::<0>(&keys, v);
+                    },
+                );
+                let sink = Arc::new(AtomicUsize::new(0));
+                let s2 = Arc::clone(&sink);
+                let _dst = g.make_tt(
+                    "dst",
+                    (fan,),
+                    (),
+                    |k: &u32| (*k % 4) as usize,
+                    move |_, (_v,): (Vec<f64>,), _| {
+                        s2.fetch_add(1, Ordering::Relaxed);
+                    },
+                );
+                let exec = Executor::new(
+                    g.build(),
+                    ExecConfig::distributed(4, 1, BackendSpec::default_spec()),
+                );
+                let payload: Vec<f64> = (0..256).map(|i| i as f64).collect();
+                for r in 0..rounds as u32 {
+                    src.in_ref::<0>().seed(exec.ctx(), r, payload.clone());
+                }
+                let report = exec.finish();
+                assert_eq!(sink.load(Ordering::Relaxed), rounds * 16);
+                report.tasks
+            })
+        },
+    )
+}
+
+fn json_row(s: &Summary) -> String {
+    let (unit, rate) = match (s.throughput, s.rate_per_sec()) {
+        (Some(Throughput::Elements(_)), Some(r)) => ("elements_per_s", r),
+        (Some(Throughput::Bytes(_)), Some(r)) => ("bytes_per_s", r),
+        _ => ("none", 0.0),
+    };
+    format!(
+        "{{\"name\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\
+         \"samples\":{},\"iters\":{},\"rate\":{:.1},\"rate_unit\":\"{}\"}}",
+        s.label, s.mean_ns, s.min_ns, s.max_ns, s.samples, s.iters, rate, unit
+    )
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let mut c = cfg.criterion();
+    println!(
+        "hotpath_micro ({} mode)",
+        if cfg.smoke { "smoke" } else { "full" }
+    );
+
+    let mut summaries = vec![
+        bench_matching_insert(&mut c, cfg.insert_keys, INSERT_THREADS),
+        bench_matching_insert(&mut c, cfg.insert_keys, 1),
+    ];
+    summaries.push(bench_sched_submit(&mut c, cfg.sched_jobs));
+    summaries.push(bench_sched_priority(&mut c, cfg.sched_jobs / 5));
+    let (enc, dec) = bench_wire_vec(&mut c, cfg.wire_elems);
+    summaries.push(enc);
+    summaries.push(dec);
+    let (penc, pdec) = bench_wire_payload(&mut c, cfg.wire_elems);
+    summaries.push(penc);
+    summaries.push(pdec);
+    summaries.push(bench_broadcast_route(
+        &mut c,
+        if cfg.smoke { 4 } else { 64 },
+    ));
+
+    let rows: Vec<String> = summaries.iter().map(json_row).collect();
+    let doc = format!(
+        "{{\"benchmark\":\"hotpath_micro\",\"smoke\":{},\"results\":[{}]}}",
+        cfg.smoke,
+        rows.join(",")
+    );
+    debug_assert!(ttg_telemetry::json::validate(&doc).is_ok());
+    if let Some(dir) = std::path::Path::new(&cfg.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(&cfg.out, &doc).expect("write bench json");
+    println!("wrote {} ({} benchmarks)", cfg.out, summaries.len());
+}

@@ -52,6 +52,33 @@ pub trait Wire: Sized + Send + 'static {
         b.len()
     }
 
+    /// Serialize a contiguous slice of values. The default loops per
+    /// element; trivial fixed-size types override this with a single bulk
+    /// copy, which is what makes `Vec<f64>`-style payloads hit memory
+    /// bandwidth instead of per-element call overhead.
+    fn encode_slice(xs: &[Self], b: &mut WriteBuf) {
+        for x in xs {
+            x.encode(b);
+        }
+    }
+
+    /// Deserialize exactly `n` values (inverse of [`Wire::encode_slice`]).
+    /// Callers must validate `n` against the buffer before trusting it with
+    /// an allocation; `Vec::<T>::decode` does this.
+    fn decode_slice(r: &mut ReadBuf<'_>, n: usize) -> Result<Vec<Self>, WireError> {
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(Self::decode(r)?);
+        }
+        Ok(v)
+    }
+
+    /// Serialized size of a slice in bytes. Trivial fixed-size types reduce
+    /// this to a multiplication.
+    fn slice_wire_size(xs: &[Self]) -> usize {
+        xs.iter().map(|x| x.wire_size()).sum()
+    }
+
     /// SplitMd stage 1 (sender): encode only the metadata needed to allocate
     /// the object on the receiving side.
     fn split_encode_md(&self, b: &mut WriteBuf) {
@@ -91,6 +118,64 @@ macro_rules! wire_prim {
             #[inline]
             fn wire_size(&self) -> usize {
                 $size
+            }
+            #[inline]
+            fn encode_slice(xs: &[Self], b: &mut WriteBuf) {
+                #[cfg(target_endian = "little")]
+                {
+                    // The wire format is little-endian, so on LE targets the
+                    // in-memory representation of a primitive slice is
+                    // byte-identical to its encoding: copy it wholesale.
+                    let bytes = unsafe {
+                        std::slice::from_raw_parts(
+                            xs.as_ptr() as *const u8,
+                            std::mem::size_of_val(xs),
+                        )
+                    };
+                    b.put_bytes(bytes);
+                }
+                #[cfg(not(target_endian = "little"))]
+                for x in xs {
+                    x.encode(b);
+                }
+            }
+            #[inline]
+            fn decode_slice(r: &mut ReadBuf<'_>, n: usize) -> Result<Vec<Self>, WireError> {
+                let nbytes = n
+                    .checked_mul($size)
+                    .ok_or_else(|| WireError::new("slice byte length overflows"))?;
+                // Bounds-check (and advance) before allocating, so a corrupt
+                // count fails instead of reserving an absurd buffer.
+                let bytes = r.take(nbytes)?;
+                #[cfg(target_endian = "little")]
+                {
+                    let mut v: Vec<$ty> = Vec::with_capacity(n);
+                    // SAFETY: every bit pattern is a valid primitive, `v`
+                    // has capacity for `n` elements, and `bytes` holds
+                    // exactly `n * size_of::<$ty>()` bytes.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            bytes.as_ptr(),
+                            v.as_mut_ptr() as *mut u8,
+                            nbytes,
+                        );
+                        v.set_len(n);
+                    }
+                    Ok(v)
+                }
+                #[cfg(not(target_endian = "little"))]
+                {
+                    let mut sub = ReadBuf::new(bytes);
+                    let mut v = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        v.push(<$ty as Wire>::decode(&mut sub)?);
+                    }
+                    Ok(v)
+                }
+            }
+            #[inline]
+            fn slice_wire_size(xs: &[Self]) -> usize {
+                xs.len() * $size
             }
         }
     };
@@ -172,9 +257,7 @@ impl Wire for String {
 impl<T: Wire> Wire for Vec<T> {
     fn encode(&self, b: &mut WriteBuf) {
         b.put_usize(self.len());
-        for x in self {
-            x.encode(b);
-        }
+        T::encode_slice(self, b);
     }
     fn decode(r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
         let n = r.get_usize()?;
@@ -182,11 +265,10 @@ impl<T: Wire> Wire for Vec<T> {
         if n > r.remaining() && std::mem::size_of::<T>() > 0 {
             return Err(WireError::new(format!("vec length {} exceeds buffer", n)));
         }
-        let mut v = Vec::with_capacity(n);
-        for _ in 0..n {
-            v.push(T::decode(r)?);
-        }
-        Ok(v)
+        T::decode_slice(r, n)
+    }
+    fn wire_size(&self) -> usize {
+        8 + T::slice_wire_size(self)
     }
 }
 
@@ -211,16 +293,16 @@ impl<T: Wire> Wire for Option<T> {
 
 impl<T: Wire + Copy + Default, const N: usize> Wire for [T; N] {
     fn encode(&self, b: &mut WriteBuf) {
-        for x in self {
-            x.encode(b);
-        }
+        T::encode_slice(self, b);
     }
     fn decode(r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
+        let v = T::decode_slice(r, N)?;
         let mut out = [T::default(); N];
-        for slot in out.iter_mut() {
-            *slot = T::decode(r)?;
-        }
+        out.copy_from_slice(&v);
         Ok(out)
+    }
+    fn wire_size(&self) -> usize {
+        T::slice_wire_size(self)
     }
 }
 
@@ -273,24 +355,18 @@ macro_rules! wire_struct {
 /// Helper for SplitMd types whose contiguous segment is an `f64` buffer
 /// (e.g. matrix tiles, spectral coefficients).
 pub fn f64s_to_bytes(data: &[f64]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len() * 8);
-    for x in data {
-        out.extend_from_slice(&x.to_le_bytes());
-    }
-    out
+    let mut b = WriteBuf::with_capacity(data.len() * 8);
+    f64::encode_slice(data, &mut b);
+    b.into_vec()
 }
 
 /// Decode raw little-endian bytes into an `f64` buffer (inverse of
-/// [`f64s_to_bytes`]).
+/// [`f64s_to_bytes`]). Trailing bytes past the last whole `f64` are
+/// ignored, matching the historical `chunks_exact` behavior.
 pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
-    bytes
-        .chunks_exact(8)
-        .map(|c| {
-            let mut a = [0u8; 8];
-            a.copy_from_slice(c);
-            f64::from_le_bytes(a)
-        })
-        .collect()
+    let n = bytes.len() / 8;
+    let mut r = ReadBuf::new(&bytes[..n * 8]);
+    f64::decode_slice(&mut r, n).expect("buffer holds exactly n f64s")
 }
 
 /// Serialize a value to a standalone byte vector (archive protocol).
@@ -363,6 +439,52 @@ mod tests {
         let b = f64s_to_bytes(&xs);
         assert_eq!(b.len(), xs.len() * 8);
         assert_eq!(bytes_to_f64s(&b), xs);
+    }
+
+    #[test]
+    fn slice_roundtrip_all_primitives() {
+        macro_rules! check {
+            ($ty:ty, $vals:expr) => {{
+                let xs: Vec<$ty> = $vals;
+                let bytes = to_bytes(&xs);
+                assert_eq!(bytes.len(), xs.wire_size());
+                let ys: Vec<$ty> = from_bytes(&bytes).unwrap();
+                assert_eq!(xs, ys);
+            }};
+        }
+        check!(u8, vec![0, 1, 255]);
+        check!(u16, vec![0, 0xbeef]);
+        check!(u32, vec![u32::MAX, 7]);
+        check!(u64, vec![u64::MAX, 0]);
+        check!(i8, vec![-128, 127]);
+        check!(i16, vec![-1, 1]);
+        check!(i32, vec![i32::MIN, i32::MAX]);
+        check!(i64, vec![-9, 9]);
+        check!(f32, vec![1.5, -0.0, f32::MAX]);
+        check!(f64, vec![std::f64::consts::PI, f64::MIN]);
+        check!(f64, Vec::new());
+    }
+
+    #[test]
+    fn decode_slice_underrun_is_error() {
+        let xs = vec![1.0f64, 2.0];
+        let bytes = f64s_to_bytes(&xs);
+        let mut r = ReadBuf::new(&bytes);
+        assert!(f64::decode_slice(&mut r, 3).is_err());
+        // Cursor untouched on failure: a whole-slice read still works.
+        assert_eq!(f64::decode_slice(&mut r, 2).unwrap(), xs);
+    }
+
+    #[test]
+    fn bulk_and_per_element_encodings_agree() {
+        let xs = vec![0.25f64, -3.75, 1e300];
+        let mut bulk = WriteBuf::new();
+        f64::encode_slice(&xs, &mut bulk);
+        let mut loop_b = WriteBuf::new();
+        for x in &xs {
+            x.encode(&mut loop_b);
+        }
+        assert_eq!(bulk.as_slice(), loop_b.as_slice());
     }
 
     #[test]

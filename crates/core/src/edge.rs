@@ -65,8 +65,8 @@ impl<K: Key, V: Data> Edge<K, V> {
     }
 
     /// Edge name (diagnostics).
-    pub fn name(&self) -> String {
-        self.state.name.clone()
+    pub fn name(&self) -> &str {
+        &self.state.name
     }
 
     /// Register a consumer port (done by `make_tt` for each input edge).
@@ -101,6 +101,16 @@ pub struct PortImpl<K: Key, V: Data> {
     _ph: std::marker::PhantomData<fn() -> V>,
 }
 
+impl<K: Key, V: Data> Clone for PortImpl<K, V> {
+    fn clone(&self) -> Self {
+        PortImpl {
+            node: Weak::clone(&self.node),
+            terminal: self.terminal,
+            _ph: std::marker::PhantomData,
+        }
+    }
+}
+
 impl<K: Key, V: Data> PortImpl<K, V> {
     /// Create a port for input `terminal` of `node`.
     pub fn new(node: Weak<NodeInner<K>>, terminal: u16) -> Self {
@@ -121,7 +131,7 @@ impl<K: Key, V: Data> PortImpl<K, V> {
         &self,
         node: &Arc<NodeInner<K>>,
         rank: usize,
-        keys: &[K],
+        keys: &[&K],
         v: V,
         from_task: u64,
         src_rank: usize,
@@ -139,17 +149,10 @@ impl<K: Key, V: Data> PortImpl<K, V> {
                 // MADNESS-like: every consumer gets a private deep copy.
                 // Even the last key, which could take the original by move,
                 // is counted as a copy to model always-copy semantics.
-                for k in keys {
+                for &k in keys {
                     ctx.fabric.count_data_copy();
                     ctx.metrics.count_local_copy(rank);
-                    node.insert(
-                        rank,
-                        t,
-                        k.clone(),
-                        ErasedVal::Owned(Box::new(v.clone())),
-                        dep,
-                        ctx,
-                    );
+                    node.insert(rank, t, k.clone(), ErasedVal::erase(v.clone()), dep, ctx);
                 }
             }
             LocalPass::Share => {
@@ -157,17 +160,10 @@ impl<K: Key, V: Data> PortImpl<K, V> {
                 // an Arc and copy-on-write only if they mutate while shared.
                 if keys.len() == 1 {
                     ctx.metrics.count_local_shared(rank);
-                    node.insert(
-                        rank,
-                        t,
-                        keys[0].clone(),
-                        ErasedVal::Owned(Box::new(v)),
-                        dep,
-                        ctx,
-                    );
+                    node.insert(rank, t, keys[0].clone(), ErasedVal::erase(v), dep, ctx);
                 } else {
                     let arc: Arc<V> = Arc::new(v);
-                    for k in keys {
+                    for &k in keys {
                         ctx.metrics.count_local_shared(rank);
                         node.insert(
                             rank,
@@ -190,13 +186,15 @@ impl<K: Key, V: Data> PortImpl<K, V> {
         &self,
         node: &NodeInner<K>,
         dest: usize,
-        keys: &[K],
+        keys: &[&K],
         value_bytes: &[u8],
         from_task: u64,
         src_rank: usize,
         ctx: &Arc<RuntimeCtx>,
     ) {
-        let mut b = WriteBuf::with_capacity(16 + keys.len() * 16 + value_bytes.len());
+        // header(11) + src_rank(8) + key count(4) + keys + value.
+        let key_bytes: usize = keys.iter().map(|k| k.wire_size()).sum();
+        let mut b = WriteBuf::with_capacity(23 + key_bytes + value_bytes.len());
         am_header(&mut b, from_task, MSG_DATA_INLINE, self.terminal);
         b.put_u64(src_rank as u64);
         b.put_u32(keys.len() as u32);
@@ -213,18 +211,26 @@ impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
         let node = self.node();
         let n_ranks = ctx.n_ranks();
 
-        // Group destination keys by owner rank, preserving order.
-        let mut groups: Vec<(usize, Vec<K>)> = Vec::new();
+        // Group destination keys by owner rank in a single pass:
+        // `slot_of[rank]` maps a rank to its group slot, so grouping costs
+        // O(keys + ranks) instead of the old O(keys × ranks) scan — and keys
+        // are only borrowed, never cloned, on this path.
+        let mut slot_of: Vec<usize> = vec![usize::MAX; n_ranks];
+        let mut remote: Vec<(usize, Vec<&K>)> = Vec::new();
+        let mut local: Vec<&K> = Vec::new();
         for k in keys {
             let r = node.owner(k, n_ranks);
-            match groups.iter_mut().find(|(g, _)| *g == r) {
-                Some((_, ks)) => ks.push(k.clone()),
-                None => groups.push((r, vec![k.clone()])),
+            if r == src_rank {
+                local.push(k);
+            } else if slot_of[r] == usize::MAX {
+                slot_of[r] = remote.len();
+                remote.push((r, vec![k]));
+            } else {
+                remote[slot_of[r]].1.push(k);
             }
         }
 
         // Remote ranks first (they borrow `v`), local delivery consumes it.
-        let remote: Vec<&(usize, Vec<K>)> = groups.iter().filter(|(r, _)| *r != src_rank).collect();
         if !remote.is_empty() {
             // Savings of the per-rank protocols over the naive one: the
             // naive path serializes and sends once per destination *key*,
@@ -242,7 +248,10 @@ impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
                     .fabric
                     .register_region(src_rank, payload, remote.len(), None);
                 for (dest, ks) in &remote {
-                    let mut b = WriteBuf::new();
+                    // header(11) + src_rank(8) + region(8) + src_rank(8)
+                    // + key count(4) + keys + metadata (sized by encode).
+                    let key_bytes: usize = ks.iter().map(|k| k.wire_size()).sum();
+                    let mut b = WriteBuf::with_capacity(39 + key_bytes);
                     am_header(&mut b, from_task, MSG_DATA_SPLITMD, self.terminal);
                     b.put_u64(src_rank as u64);
                     b.put_u64(region);
@@ -273,13 +282,13 @@ impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
             } else {
                 // Naive path: one serialization (and one AM) per key.
                 for (dest, ks) in &remote {
-                    for k in ks {
+                    for &k in ks {
                         let value_bytes = ttg_comm::to_bytes(&v);
                         ctx.fabric.count_serialization();
                         self.send_inline(
                             &node,
                             *dest,
-                            std::slice::from_ref(k),
+                            &[k],
                             &value_bytes,
                             from_task,
                             src_rank,
@@ -290,55 +299,90 @@ impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
             }
         }
 
-        if let Some((rank, ks)) = groups.iter().find(|(r, _)| *r == src_rank) {
-            self.deliver_local(&node, *rank, ks, v, from_task, src_rank, ctx);
+        if !local.is_empty() {
+            self.deliver_local(&node, src_rank, &local, v, from_task, src_rank, ctx);
         }
     }
 
     fn set_stream_size(&self, k: &K, n: usize, src_rank: usize, ctx: &Arc<RuntimeCtx>) {
-        let node = self.node();
-        let owner = node.owner(k, ctx.n_ranks());
-        if owner == src_rank {
-            node.set_stream_size(owner, self.terminal as usize, k.clone(), n, ctx);
-        } else {
-            let mut b = WriteBuf::new();
-            am_header(&mut b, 0, MSG_SET_SIZE, self.terminal);
-            k.encode(&mut b);
-            b.put_u64(n as u64);
-            ctx.fabric.send_am(src_rank, owner, node.id, b.into_vec());
-        }
+        port_set_stream_size(&self.node(), self.terminal, k, n, src_rank, ctx);
     }
 
     fn finalize(&self, k: &K, src_rank: usize, ctx: &Arc<RuntimeCtx>) {
-        let node = self.node();
-        let owner = node.owner(k, ctx.n_ranks());
-        if owner == src_rank {
-            node.finalize_stream(owner, self.terminal as usize, k.clone(), ctx);
-        } else {
-            let mut b = WriteBuf::new();
-            am_header(&mut b, 0, MSG_FINALIZE, self.terminal);
-            k.encode(&mut b);
-            ctx.fabric.send_am(src_rank, owner, node.id, b.into_vec());
-        }
+        port_finalize(&self.node(), self.terminal, k, src_rank, ctx);
     }
 
     fn seed(&self, k: K, v: V, ctx: &Arc<RuntimeCtx>) {
-        let node = self.node();
-        let owner = node.owner(&k, ctx.n_ranks());
-        node.insert(
-            owner,
-            self.terminal as usize,
-            k,
-            ErasedVal::Owned(Box::new(v)),
-            Dep {
-                from_task: 0,
-                bytes: 0,
-                src_rank: owner,
-                msg: 0,
-            },
-            ctx,
-        );
+        port_seed(&self.node(), self.terminal, k, v, ctx);
     }
+}
+
+// Port operations shared between edge consumer ports (which hold a `Weak`
+// node pointer to break the node → edge → port cycle) and [`InRef`] handles
+// (which hold a strong `Arc` so the seeding hot path skips the
+// upgrade/downgrade traffic entirely).
+
+pub(crate) fn port_set_stream_size<K: Key>(
+    node: &Arc<NodeInner<K>>,
+    terminal: u16,
+    k: &K,
+    n: usize,
+    src_rank: usize,
+    ctx: &Arc<RuntimeCtx>,
+) {
+    let owner = node.owner(k, ctx.n_ranks());
+    if owner == src_rank {
+        node.set_stream_size(owner, terminal as usize, k.clone(), n, ctx);
+    } else {
+        // header(11) + key + size(8).
+        let mut b = WriteBuf::with_capacity(19 + k.wire_size());
+        am_header(&mut b, 0, MSG_SET_SIZE, terminal);
+        k.encode(&mut b);
+        b.put_u64(n as u64);
+        ctx.fabric.send_am(src_rank, owner, node.id, b.into_vec());
+    }
+}
+
+pub(crate) fn port_finalize<K: Key>(
+    node: &Arc<NodeInner<K>>,
+    terminal: u16,
+    k: &K,
+    src_rank: usize,
+    ctx: &Arc<RuntimeCtx>,
+) {
+    let owner = node.owner(k, ctx.n_ranks());
+    if owner == src_rank {
+        node.finalize_stream(owner, terminal as usize, k.clone(), ctx);
+    } else {
+        // header(11) + key.
+        let mut b = WriteBuf::with_capacity(11 + k.wire_size());
+        am_header(&mut b, 0, MSG_FINALIZE, terminal);
+        k.encode(&mut b);
+        ctx.fabric.send_am(src_rank, owner, node.id, b.into_vec());
+    }
+}
+
+pub(crate) fn port_seed<K: Key, V: Data>(
+    node: &Arc<NodeInner<K>>,
+    terminal: u16,
+    k: K,
+    v: V,
+    ctx: &Arc<RuntimeCtx>,
+) {
+    let owner = node.owner(&k, ctx.n_ranks());
+    node.insert(
+        owner,
+        terminal as usize,
+        k,
+        ErasedVal::erase(v),
+        Dep {
+            from_task: 0,
+            bytes: 0,
+            src_rank: owner,
+            msg: 0,
+        },
+        ctx,
+    );
 }
 
 /// Producer-side handle on an edge: the output terminal of a template task.

@@ -102,7 +102,7 @@ impl Executor {
         ctx.pools.set(pools).ok().expect("pools set twice");
 
         for node in graph.nodes() {
-            node.attach(cfg.ranks);
+            node.attach(cfg.ranks, cfg.workers_per_rank);
         }
         ctx.nodes
             .set(graph.nodes().to_vec())

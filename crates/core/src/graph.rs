@@ -158,7 +158,7 @@ impl<K: Key, VS: 'static, TS> TtHandle<K, VS, TS> {
     where
         VS: ValueAt<I>,
     {
-        InRef::new(Arc::downgrade(&self.node), I as u16)
+        InRef::new(Arc::clone(&self.node), I as u16)
     }
 
     /// Replace the keymap.

@@ -9,6 +9,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -94,21 +95,197 @@ impl SlotE {
     }
 }
 
+/// Terminal slots of one pending entry. Tasks with ≤ 2 inputs (the common
+/// case) keep their slots inline in the map entry: no heap allocation per
+/// pending key, and the slot write lands on the entry's already-hot
+/// cachelines instead of chasing a `Vec` pointer. Wider tasks spill to a
+/// `Vec`.
+enum Slots {
+    Inline { arr: [SlotE; 2], n: u8 },
+    Spill(Vec<SlotE>),
+}
+
+impl Slots {
+    fn new(n: usize) -> Self {
+        if n <= 2 {
+            Slots::Inline {
+                arr: [SlotE::Empty, SlotE::Empty],
+                n: n as u8,
+            }
+        } else {
+            Slots::Spill((0..n).map(|_| SlotE::Empty).collect())
+        }
+    }
+
+    fn get_mut(&mut self, i: usize) -> &mut SlotE {
+        match self {
+            Slots::Inline { arr, n } => {
+                debug_assert!(i < *n as usize, "terminal {i} out of range");
+                &mut arr[i]
+            }
+            Slots::Spill(v) => &mut v[i],
+        }
+    }
+
+    fn as_slice(&self) -> &[SlotE] {
+        match self {
+            Slots::Inline { arr, n } => &arr[..*n as usize],
+            Slots::Spill(v) => v,
+        }
+    }
+}
+
+enum SlotsIter {
+    Inline(std::iter::Take<std::array::IntoIter<SlotE, 2>>),
+    Spill(std::vec::IntoIter<SlotE>),
+}
+
+impl Iterator for SlotsIter {
+    type Item = SlotE;
+    fn next(&mut self) -> Option<SlotE> {
+        match self {
+            SlotsIter::Inline(it) => it.next(),
+            SlotsIter::Spill(it) => it.next(),
+        }
+    }
+}
+
+impl IntoIterator for Slots {
+    type Item = SlotE;
+    type IntoIter = SlotsIter;
+    fn into_iter(self) -> SlotsIter {
+        match self {
+            Slots::Inline { arr, n } => SlotsIter::Inline(arr.into_iter().take(n as usize)),
+            Slots::Spill(v) => SlotsIter::Spill(v.into_iter()),
+        }
+    }
+}
+
 /// Matching-table entry: all terminal states plus trace provenance.
 pub struct PendingE {
-    slots: Vec<SlotE>,
+    slots: Slots,
     deps: Vec<Dep>,
 }
 
 impl PendingE {
     fn new(n: usize) -> Self {
         PendingE {
-            slots: (0..n).map(|_| SlotE::Empty).collect(),
+            slots: Slots::new(n),
             deps: Vec::new(),
         }
     }
     fn all_complete(&self) -> bool {
-        self.slots.iter().all(|s| s.is_complete())
+        self.slots.as_slice().iter().all(|s| s.is_complete())
+    }
+}
+
+/// FxHash-style multiply-xor hasher for the matching table. Task keys are
+/// runtime-generated, never attacker-controlled, so SipHash's hash-flooding
+/// resistance buys nothing on this path while costing an order of magnitude
+/// more per key than one rotate-xor-multiply round.
+#[derive(Clone, Copy, Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// Lock-striped matching table of one rank.
+///
+/// Every message insert and AM delivery for a rank used to serialize behind
+/// a single `Mutex<HashMap>`; striping the key space over `2 × workers`
+/// shards (rounded up to a power of two) lets concurrent workers insert
+/// disjoint keys without contending. A key always hashes to the same shard,
+/// so per-key matching, streaming and completion semantics are untouched.
+struct ShardedTable<K: Key> {
+    shards: Vec<Mutex<HashMap<K, PendingE, FxBuildHasher>>>,
+    mask: usize,
+}
+
+impl<K: Key> ShardedTable<K> {
+    fn new(n_shards: usize) -> Self {
+        let n = n_shards.max(1).next_power_of_two();
+        ShardedTable {
+            shards: (0..n)
+                .map(|_| Mutex::new(HashMap::with_hasher(FxBuildHasher)))
+                .collect(),
+            mask: n - 1,
+        }
+    }
+
+    fn shard(&self, k: &K) -> &Mutex<HashMap<K, PendingE, FxBuildHasher>> {
+        // Pick the shard from the *high* half of the hash: the map inside the
+        // shard buckets on the low bits of the same hash function, so using
+        // disjoint bits avoids correlated bucket skew within a shard.
+        let h = FxBuildHasher.hash_one(k);
+        &self.shards[((h >> 32) as usize) & self.mask]
+    }
+
+    fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 }
 
@@ -116,7 +293,8 @@ impl PendingE {
 /// communication threads and diagnostics.
 pub trait AnyNode: Send + Sync {
     /// Size the per-rank matching tables (called once by the executor).
-    fn attach(&self, n_ranks: usize);
+    /// `workers_per_rank` sizes the lock stripes of each table.
+    fn attach(&self, n_ranks: usize, workers_per_rank: usize);
     /// Deliver a serialized active message addressed to this node.
     fn deliver_am(
         &self,
@@ -139,6 +317,19 @@ type KeyMapFn<K> = Arc<dyn Fn(&K) -> usize + Send + Sync>;
 type PrioMapFn<K> = Arc<dyn Fn(&K) -> i32 + Send + Sync>;
 type CostMapFn<K> = Arc<dyn Fn(&K) -> u64 + Send + Sync>;
 
+/// Node maps snapshotted at attach time. Registration (`set_keymap`,
+/// `set_reducer`, …) happens while the graph is built, behind `RwLock`s;
+/// once the executor attaches the node those maps are immutable, so the hot
+/// paths (`owner`, `insert`, `launch`) read this lock-free snapshot instead
+/// of hammering the lock words — which become contended cachelines when
+/// several workers insert into one node concurrently.
+struct FrozenMaps<K: Key> {
+    keymap: KeyMapFn<K>,
+    reducers: Vec<Option<ReducerSpec>>,
+    priomap: Option<PrioMapFn<K>>,
+    costmap: Option<CostMapFn<K>>,
+}
+
 /// The shared implementation behind every template task.
 pub struct NodeInner<K: Key> {
     /// Node id within the graph.
@@ -147,7 +338,8 @@ pub struct NodeInner<K: Key> {
     pub name: &'static str,
     /// Number of input terminals.
     pub n_inputs: usize,
-    tables: OnceLock<Vec<Mutex<HashMap<K, PendingE>>>>,
+    tables: OnceLock<Vec<ShardedTable<K>>>,
+    frozen: OnceLock<FrozenMaps<K>>,
     keymap: RwLock<KeyMapFn<K>>,
     priomap: RwLock<Option<PrioMapFn<K>>>,
     costmap: RwLock<Option<CostMapFn<K>>>,
@@ -166,6 +358,7 @@ impl<K: Key> NodeInner<K> {
             name,
             n_inputs,
             tables: OnceLock::new(),
+            frozen: OnceLock::new(),
             keymap: RwLock::new(keymap),
             priomap: RwLock::new(None),
             costmap: RwLock::new(None),
@@ -185,27 +378,34 @@ impl<K: Key> NodeInner<K> {
 
     /// Install a streaming reducer on terminal `t`.
     pub fn set_reducer(&self, t: usize, spec: ReducerSpec) {
+        debug_assert!(self.frozen.get().is_none(), "set_reducer after attach");
         *self.reducers[t].write() = Some(spec);
     }
 
     /// Replace the keymap.
     pub fn set_keymap(&self, f: KeyMapFn<K>) {
+        debug_assert!(self.frozen.get().is_none(), "set_keymap after attach");
         *self.keymap.write() = f;
     }
 
     /// Install a priority map.
     pub fn set_priomap(&self, f: PrioMapFn<K>) {
+        debug_assert!(self.frozen.get().is_none(), "set_priomap after attach");
         *self.priomap.write() = Some(f);
     }
 
     /// Install a cost model for trace-based projection.
     pub fn set_costmap(&self, f: CostMapFn<K>) {
+        debug_assert!(self.frozen.get().is_none(), "set_costmap after attach");
         *self.costmap.write() = Some(f);
     }
 
     /// Rank owning task `k` (bounded by the fabric size).
     pub fn owner(&self, k: &K, n_ranks: usize) -> usize {
-        (self.keymap.read())(k) % n_ranks
+        match self.frozen.get() {
+            Some(f) => (f.keymap)(k) % n_ranks,
+            None => (self.keymap.read())(k) % n_ranks,
+        }
     }
 
     /// Per-terminal vtable.
@@ -213,8 +413,8 @@ impl<K: Key> NodeInner<K> {
         &self.metas[t]
     }
 
-    fn table(&self, rank: usize) -> &Mutex<HashMap<K, PendingE>> {
-        &self.tables.get().expect("node not attached")[rank]
+    fn table(&self, rank: usize, k: &K) -> &Mutex<HashMap<K, PendingE, FxBuildHasher>> {
+        self.tables.get().expect("node not attached")[rank].shard(k)
     }
 
     /// Insert a value for `(k, terminal)` into rank `rank`'s table,
@@ -230,15 +430,19 @@ impl<K: Key> NodeInner<K> {
     ) {
         debug_assert_eq!(self.owner(&k, ctx.n_ranks()), rank, "misrouted message");
         let ready = {
-            let mut table = self.table(rank).lock();
+            let mut table = self.table(rank, &k).lock();
             let entry = table
                 .entry(k.clone())
                 .or_insert_with(|| PendingE::new(self.n_inputs));
-            entry.deps.push(dep);
-            let reducer = self.reducers[terminal].read().clone();
-            let slot = &mut entry.slots[terminal];
+            // Provenance is only consumed by the tracer at launch; skip the
+            // per-message Vec growth entirely when tracing is off.
+            if ctx.trace.is_some() {
+                entry.deps.push(dep);
+            }
+            let reducer = self.frozen.get().expect("node not attached").reducers[terminal].as_ref();
+            let slot = entry.slots.get_mut(terminal);
             match slot {
-                SlotE::Empty => match &reducer {
+                SlotE::Empty => match reducer {
                     Some(spec) => {
                         *slot = SlotE::Stream {
                             acc: Some((spec.init)(val)),
@@ -300,11 +504,11 @@ impl<K: Key> NodeInner<K> {
         ctx: &Arc<RuntimeCtx>,
     ) {
         let ready = {
-            let mut table = self.table(rank).lock();
+            let mut table = self.table(rank, &k).lock();
             let entry = table
                 .entry(k.clone())
                 .or_insert_with(|| PendingE::new(self.n_inputs));
-            let slot = &mut entry.slots[terminal];
+            let slot = entry.slots.get_mut(terminal);
             match slot {
                 SlotE::Empty => {
                     *slot = SlotE::Stream {
@@ -345,7 +549,7 @@ impl<K: Key> NodeInner<K> {
     /// Close an unbounded stream for `(k, terminal)` now.
     pub fn finalize_stream(&self, rank: usize, terminal: usize, k: K, ctx: &Arc<RuntimeCtx>) {
         let ready = {
-            let mut table = self.table(rank).lock();
+            let mut table = self.table(rank, &k).lock();
             let entry = match table.get_mut(&k) {
                 Some(e) => e,
                 None => panic!(
@@ -353,7 +557,7 @@ impl<K: Key> NodeInner<K> {
                     self.name, k
                 ),
             };
-            match &mut entry.slots[terminal] {
+            match entry.slots.get_mut(terminal) {
                 SlotE::Stream { finalized, .. } => *finalized = true,
                 _ => panic!("finalize on non-streaming terminal of {}", self.name),
             }
@@ -388,13 +592,14 @@ impl<K: Key> NodeInner<K> {
             })
             .collect();
         let task_id = ctx.alloc_task_id();
+        let frozen = self.frozen.get().expect("node not attached");
         let prio = if ctx.backend.honor_priorities {
-            self.priomap.read().as_ref().map_or(0, |f| f(&k))
+            frozen.priomap.as_ref().map_or(0, |f| f(&k))
         } else {
             0
         };
         let deps = entry.deps;
-        let costmap = self.costmap.read().clone();
+        let costmap = frozen.costmap.clone();
         let ctx2 = Arc::clone(ctx);
         let node_id = self.id;
         let name = self.name;
@@ -428,9 +633,20 @@ impl<K: Key> NodeInner<K> {
 }
 
 impl<K: Key> AnyNode for NodeInner<K> {
-    fn attach(&self, n_ranks: usize) {
-        let tables = (0..n_ranks).map(|_| Mutex::new(HashMap::new())).collect();
+    fn attach(&self, n_ranks: usize, workers_per_rank: usize) {
+        let tables = (0..n_ranks)
+            .map(|_| ShardedTable::new(2 * workers_per_rank))
+            .collect();
         if self.tables.set(tables).is_err() {
+            panic!("node {} attached twice", self.name);
+        }
+        let frozen = FrozenMaps {
+            keymap: self.keymap.read().clone(),
+            reducers: self.reducers.iter().map(|r| r.read().clone()).collect(),
+            priomap: self.priomap.read().clone(),
+            costmap: self.costmap.read().clone(),
+        };
+        if self.frozen.set(frozen).is_err() {
             panic!("node {} attached twice", self.name);
         }
     }
@@ -510,7 +726,7 @@ impl<K: Key> AnyNode for NodeInner<K> {
     fn pending(&self) -> usize {
         match self.tables.get() {
             None => 0,
-            Some(ts) => ts.iter().map(|t| t.lock().len()).sum(),
+            Some(ts) => ts.iter().map(ShardedTable::pending).sum(),
         }
     }
 }

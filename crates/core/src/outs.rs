@@ -1,10 +1,9 @@
 //! Task-body output interface (`ttg::send` / `ttg::broadcast`) and input
 //! terminal references for streaming control and seeding.
 
-use std::sync::{Arc, Weak};
+use std::sync::Arc;
 
 use crate::ctx::RuntimeCtx;
-use crate::edge::{ConsumerPort, PortImpl};
 use crate::node::NodeInner;
 use crate::tuples::TermAt;
 use crate::types::{Data, Key};
@@ -79,42 +78,53 @@ impl<'a, T> Outs<'a, T> {
 /// streaming terminals (per-key stream sizes, finalization) from within
 /// task bodies — the TTG `tt->in<i>()` idiom.
 pub struct InRef<K: Key, V: Data> {
-    port: Arc<PortImpl<K, V>>,
+    // Holds the node strongly: unlike edge consumer ports (which must be
+    // `Weak` to break the node → edge → port cycle), an `InRef` is an
+    // external handle with no cycle, and a strong pointer keeps the seeding
+    // hot path free of both a heap allocation per handle and the
+    // upgrade/downgrade refcount traffic per call.
+    node: Arc<NodeInner<K>>,
+    terminal: u16,
+    _ph: std::marker::PhantomData<fn() -> V>,
 }
 
 impl<K: Key, V: Data> Clone for InRef<K, V> {
     fn clone(&self) -> Self {
         InRef {
-            port: Arc::clone(&self.port),
+            node: Arc::clone(&self.node),
+            terminal: self.terminal,
+            _ph: std::marker::PhantomData,
         }
     }
 }
 
 impl<K: Key, V: Data> InRef<K, V> {
-    pub(crate) fn new(node: Weak<NodeInner<K>>, terminal: u16) -> Self {
+    pub(crate) fn new(node: Arc<NodeInner<K>>, terminal: u16) -> Self {
         InRef {
-            port: Arc::new(PortImpl::new(node, terminal)),
+            node,
+            terminal,
+            _ph: std::marker::PhantomData,
         }
     }
 
     /// Inject a seed message from outside the graph (no provenance).
     pub fn seed(&self, ctx: &Arc<RuntimeCtx>, k: K, v: V) {
-        self.port.seed(k, v, ctx);
+        crate::edge::port_seed(&self.node, self.terminal, k, v, ctx);
     }
 
     /// Set the expected stream size for key `k` from within a task.
     pub fn set_size<T>(&self, outs: &Outs<'_, T>, k: &K, n: usize) {
-        self.port.set_stream_size(k, n, outs.rank(), outs.ctx());
+        crate::edge::port_set_stream_size(&self.node, self.terminal, k, n, outs.rank(), outs.ctx());
     }
 
     /// Set the expected stream size for key `k` from outside the graph.
     /// Delivered through the owner's communication thread.
     pub fn set_size_external(&self, ctx: &Arc<RuntimeCtx>, k: &K, n: usize) {
-        self.port.set_stream_size(k, n, usize::MAX, ctx);
+        crate::edge::port_set_stream_size(&self.node, self.terminal, k, n, usize::MAX, ctx);
     }
 
     /// Finalize an unbounded stream for key `k` from within a task.
     pub fn finalize<T>(&self, outs: &Outs<'_, T>, k: &K) {
-        self.port.finalize(k, outs.rank(), outs.ctx());
+        crate::edge::port_finalize(&self.node, self.terminal, k, outs.rank(), outs.ctx());
     }
 }

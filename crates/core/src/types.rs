@@ -46,15 +46,52 @@ pub enum LocalPass {
     Copy,
 }
 
+/// Inline storage threshold for [`ErasedVal::erase`].
+const SMALL_CAP: usize = 16;
+
+/// A small plain-data value stored inline, bypassing the heap.
+///
+/// Only constructed through [`ErasedVal::erase`], which guarantees the
+/// erased type fits in `bytes`, needs no drop, and is `Send + Sync`
+/// (`V: Data`). The value is stored unaligned and recovered with
+/// `read_unaligned` after a `TypeId` check.
+pub struct SmallVal {
+    bytes: [std::mem::MaybeUninit<u8>; SMALL_CAP],
+    tid: std::any::TypeId,
+}
+
 /// Type-erased value travelling to an input terminal.
 pub enum ErasedVal {
     /// Shared immutable handle (may be held by several pending inputs).
     Shared(Arc<dyn Any + Send + Sync>),
     /// Exclusively owned value.
     Owned(Box<dyn Any + Send>),
+    /// Small trivially-movable value stored inline (no heap allocation).
+    Small(SmallVal),
 }
 
 impl ErasedVal {
+    /// Erase an owned `v`, storing it inline when it is small and free of
+    /// drop glue — the overwhelmingly common case for task-ID-sized payloads
+    /// on the matching hot path — and boxing it otherwise.
+    pub fn erase<V: Data>(v: V) -> Self {
+        if std::mem::size_of::<V>() <= SMALL_CAP && !std::mem::needs_drop::<V>() {
+            let mut bytes = [std::mem::MaybeUninit::<u8>::uninit(); SMALL_CAP];
+            // SAFETY: size checked above; the bytes are only re-read as `V`
+            // after a `TypeId` match in `take`, and `V` has no drop glue so
+            // forgetting the original is a no-op.
+            unsafe {
+                std::ptr::write_unaligned(bytes.as_mut_ptr() as *mut V, v);
+            }
+            ErasedVal::Small(SmallVal {
+                bytes,
+                tid: std::any::TypeId::of::<V>(),
+            })
+        } else {
+            ErasedVal::Owned(Box::new(v))
+        }
+    }
+
     /// Recover the concrete value, cloning only when the handle is still
     /// shared with other consumers. Returns `None` on a type mismatch
     /// (which indicates graph-construction bug and is asserted upstream).
@@ -66,6 +103,15 @@ impl ErasedVal {
                 match Arc::try_unwrap(arc) {
                     Ok(v) => Some((v, false)),
                     Err(arc) => Some(((*arc).clone(), true)),
+                }
+            }
+            ErasedVal::Small(s) => {
+                if s.tid == std::any::TypeId::of::<V>() {
+                    // SAFETY: TypeId matches the type written in `erase`.
+                    let v = unsafe { (s.bytes.as_ptr() as *const V).read_unaligned() };
+                    Some((v, false))
+                } else {
+                    None
                 }
             }
         }
@@ -84,6 +130,7 @@ impl fmt::Debug for ErasedVal {
         match self {
             ErasedVal::Shared(_) => write!(f, "ErasedVal::Shared(..)"),
             ErasedVal::Owned(_) => write!(f, "ErasedVal::Owned(..)"),
+            ErasedVal::Small(_) => write!(f, "ErasedVal::Small(..)"),
         }
     }
 }
@@ -131,5 +178,33 @@ mod tests {
     fn erased_type_mismatch_is_none() {
         let ev = ErasedVal::Owned(Box::new(1u8));
         assert!(ev.take::<u16>().is_none());
+    }
+
+    #[test]
+    fn erase_small_roundtrip_inline() {
+        let ev = ErasedVal::erase(0xdead_beef_u64);
+        assert!(matches!(ev, ErasedVal::Small(_)));
+        let (v, copied) = ev.take::<u64>().unwrap();
+        assert_eq!(v, 0xdead_beef);
+        assert!(!copied);
+    }
+
+    #[test]
+    fn erase_small_type_mismatch_is_none() {
+        let ev = ErasedVal::erase(1u8);
+        assert!(ev.take::<u16>().is_none());
+    }
+
+    #[test]
+    fn erase_large_or_droppy_falls_back_to_owned() {
+        let ev = ErasedVal::erase(String::from("heap"));
+        assert!(matches!(ev, ErasedVal::Owned(_)));
+        let (v, copied) = ev.take::<String>().unwrap();
+        assert_eq!(v, "heap");
+        assert!(!copied);
+
+        let ev = ErasedVal::erase([0u8; 64]);
+        assert!(matches!(ev, ErasedVal::Owned(_)));
+        assert!(ev.take::<[u8; 64]>().is_some());
     }
 }

@@ -167,6 +167,124 @@ fn naive_broadcast_serializes_per_key() {
     assert_eq!(report.comm.am_count, 9);
 }
 
+/// One producer on rank 0 broadcasts one value to 12 keys spread over 4
+/// ranks (3 local, 3 remote ranks × 3 keys): the per-protocol byte/send
+/// accounting must stay pinned so wire-path changes are provably
+/// semantics-preserving.
+fn run_broadcast_accounting<V: ttg_core::Data + Clone>(
+    backend: BackendSpec,
+    v: V,
+) -> ttg_comm::StatsSnapshot {
+    let start: Edge<u32, V> = Edge::new("start");
+    let fan: Edge<u32, V> = Edge::new("fan");
+    let mut g = GraphBuilder::new();
+    let src = g.make_tt(
+        "src",
+        (start,),
+        (fan.clone(),),
+        |_| 0usize,
+        |_, (x,): (V,), outs| {
+            let keys: Vec<u32> = (0..12).collect();
+            outs.broadcast::<0>(&keys, x);
+        },
+    );
+    let _dst = g.make_tt(
+        "dst",
+        (fan,),
+        (),
+        |k: &u32| (*k % 4) as usize,
+        |_, (_x,): (V,), _| {},
+    );
+    let exec = Executor::new(g.build(), ExecConfig::distributed(4, 1, backend));
+    src.in_ref::<0>().seed(exec.ctx(), 0, v);
+    exec.finish().comm
+}
+
+#[test]
+fn broadcast_accounting_optimized_inline() {
+    // 9 remote keys collapse to 3 rank-level sends: 6 sends saved, each
+    // carrying the 8-byte u64 payload.
+    let comm = run_broadcast_accounting(parsec_like(), 7u64);
+    assert_eq!(comm.serializations, 1);
+    assert_eq!(comm.bcast_sends_saved, 6);
+    assert_eq!(comm.bcast_bytes_saved, 6 * 8);
+}
+
+#[test]
+fn broadcast_accounting_naive() {
+    let mut backend = parsec_like();
+    backend.optimized_broadcast = false;
+    let comm = run_broadcast_accounting(backend, 7u64);
+    assert_eq!(comm.serializations, 9, "one serialization per remote key");
+    assert_eq!(comm.bcast_sends_saved, 0);
+    assert_eq!(comm.bcast_bytes_saved, 0);
+}
+
+#[test]
+fn broadcast_accounting_splitmd() {
+    // SplitMd registers the 8000-byte payload once; the dedup savings are
+    // counted against the payload, not the tiny metadata message.
+    let blob = Blob {
+        data: (0..1000).map(|i| i as f64).collect(),
+    };
+    let comm = run_broadcast_accounting(parsec_like(), blob);
+    assert_eq!(comm.serializations, 1);
+    assert_eq!(comm.bcast_sends_saved, 6);
+    assert_eq!(comm.bcast_bytes_saved, 6 * 8000);
+    assert_eq!(comm.rma_gets, 3, "one RMA fetch per remote rank");
+}
+
+#[test]
+fn concurrent_matching_inserts_fire_each_task_exactly_once() {
+    // Two producer templates running on 8 workers race their sends into the
+    // same consumer: same-key races (terminals 0 and 1 of one key meet in
+    // one matching-table entry) and different-key races (shard contention)
+    // must both resolve to exactly one firing per key.
+    const KEYS: u32 = 256;
+    let sa: Edge<u32, u64> = Edge::new("sa");
+    let sb: Edge<u32, u64> = Edge::new("sb");
+    let ta: Edge<u32, u64> = Edge::new("ta");
+    let tb: Edge<u32, u64> = Edge::new("tb");
+    let mut g = GraphBuilder::new();
+    let pa = g.make_tt(
+        "pa",
+        (sa,),
+        (ta.clone(),),
+        |_| 0usize,
+        |k, (x,): (u64,), outs| outs.send::<0>(*k, x),
+    );
+    let pb = g.make_tt(
+        "pb",
+        (sb,),
+        (tb.clone(),),
+        |_| 0usize,
+        |k, (x,): (u64,), outs| outs.send::<0>(*k, x + 1),
+    );
+    let fired: Arc<Vec<AtomicU64>> = Arc::new((0..KEYS).map(|_| AtomicU64::new(0)).collect());
+    let f2 = Arc::clone(&fired);
+    let _join = g.make_tt(
+        "join",
+        (ta, tb),
+        (),
+        |_| 0usize,
+        move |k, (a, b): (u64, u64), _| {
+            assert_eq!(b, a + 1, "inputs of key {k} mismatched");
+            f2[*k as usize].fetch_add(1, Ordering::SeqCst);
+        },
+    );
+    let exec = Executor::new(g.build(), ExecConfig::local(8));
+    for k in 0..KEYS {
+        pa.in_ref::<0>().seed(exec.ctx(), k, k as u64);
+        pb.in_ref::<0>().seed(exec.ctx(), k, k as u64);
+    }
+    let report = exec.finish();
+    assert_eq!(report.tasks, 3 * KEYS as u64);
+    for (k, c) in fired.iter().enumerate() {
+        let n = c.load(Ordering::SeqCst);
+        assert_eq!(n, 1, "join for key {k} fired {n} times");
+    }
+}
+
 #[test]
 fn streaming_terminal_with_static_size() {
     // 2^d children stream into one compress-style task (paper Listing 3).

@@ -152,18 +152,13 @@ impl Wire for Tile {
     fn encode(&self, b: &mut WriteBuf) {
         b.put_usize(self.rows);
         b.put_usize(self.cols);
-        for x in &self.data {
-            b.put_f64(*x);
-        }
+        f64::encode_slice(&self.data, b);
     }
 
     fn decode(r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
         let rows = r.get_usize()?;
         let cols = r.get_usize()?;
-        let mut data = Vec::with_capacity(rows * cols);
-        for _ in 0..rows * cols {
-            data.push(r.get_f64()?);
-        }
+        let data = f64::decode_slice(r, rows.saturating_mul(cols))?;
         Ok(Tile { rows, cols, data })
     }
 

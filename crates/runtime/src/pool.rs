@@ -13,9 +13,9 @@
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use crossbeam_deque::{Injector, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
@@ -124,10 +124,16 @@ struct Shared {
     injector: Injector<Job>,
     stealers: Vec<Stealer<Job>>,
     prio: Mutex<BinaryHeap<PrioJob>>,
+    /// Heap occupancy mirror, maintained under the `prio` lock. Lets the
+    /// common zero-priority dispatch skip the heap mutex entirely.
+    prio_count: AtomicUsize,
     central: Mutex<VecDeque<Job>>,
     kind: SchedulerKind,
     shutdown: AtomicBool,
     seq: AtomicU64,
+    /// Wake-event counter for the park protocol: bumped (under `sleep_lock`)
+    /// by every submit and by shutdown, read by workers before parking.
+    wake_seq: AtomicU64,
     metrics: PoolMetrics,
     sleep_lock: Mutex<()>,
     wake: Condvar,
@@ -135,21 +141,32 @@ struct Shared {
 }
 
 impl Shared {
-    fn find_job(&self, local: &Worker<Job>) -> Option<Job> {
+    /// Pop the highest-priority heap job, if any, keeping the occupancy
+    /// mirror in sync.
+    fn pop_prio(&self) -> Option<Job> {
+        if self.prio_count.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut heap = self.prio.lock();
+        let pj = heap.pop();
+        self.prio_count.store(heap.len(), Ordering::Release);
+        pj.map(|p| p.job)
+    }
+
+    fn find_job(&self, local: &Worker<Job>, me: usize, rng: &mut u64) -> Option<Job> {
         match self.kind {
             SchedulerKind::Central => self.central.lock().pop_front(),
             SchedulerKind::WorkStealing => {
                 // Priority heap first: critical-path tasks preempt FIFO work.
-                {
-                    let mut heap = self.prio.lock();
-                    if let Some(pj) = heap.pop() {
-                        return Some(pj.job);
-                    }
+                if let Some(job) = self.pop_prio() {
+                    return Some(job);
                 }
                 if let Some(job) = local.pop() {
                     return Some(job);
                 }
-                // Refill from the injector, then steal from peers.
+                // Refill from the injector, then steal from peers. The scan
+                // starts at a random peer so concurrent thieves spread out
+                // instead of all hammering worker 0's deque.
                 loop {
                     match self.injector.steal_batch_and_pop(local) {
                         crossbeam_deque::Steal::Success(job) => return Some(job),
@@ -157,9 +174,15 @@ impl Shared {
                         crossbeam_deque::Steal::Empty => break,
                     }
                 }
-                for stealer in &self.stealers {
+                let n = self.stealers.len();
+                let start = (xorshift64(rng) as usize) % n;
+                for i in 0..n {
+                    let victim = (start + i) % n;
+                    if victim == me {
+                        continue;
+                    }
                     loop {
-                        match stealer.steal() {
+                        match self.stealers[victim].steal() {
                             crossbeam_deque::Steal::Success(job) => {
                                 self.metrics.steals.inc();
                                 return Some(job);
@@ -173,6 +196,28 @@ impl Shared {
             }
         }
     }
+
+    /// Bump the wake-event counter and wake one parked worker. The bump
+    /// happens under `sleep_lock`, so a worker that observed the old count
+    /// is either still before its park (and will re-check) or already on
+    /// the condvar (and receives the notify): wakeups cannot be lost.
+    fn announce_work(&self) {
+        {
+            let _guard = self.sleep_lock.lock();
+            self.wake_seq.fetch_add(1, Ordering::SeqCst);
+        }
+        self.wake.notify_one();
+    }
+}
+
+/// Cheap per-worker PRNG for the randomized steal scan.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
 }
 
 /// A pool of worker threads executing [`Job`]s for one logical rank.
@@ -213,10 +258,12 @@ impl WorkerPool {
             injector: Injector::new(),
             stealers,
             prio: Mutex::new(BinaryHeap::new()),
+            prio_count: AtomicUsize::new(0),
             central: Mutex::new(VecDeque::new()),
             kind,
             shutdown: AtomicBool::new(false),
             seq: AtomicU64::new(0),
+            wake_seq: AtomicU64::new(0),
             metrics: PoolMetrics::new(registry),
             sleep_lock: Mutex::new(()),
             wake: Condvar::new(),
@@ -234,7 +281,7 @@ impl WorkerPool {
                         ttg_telemetry::span::name_current_thread(tname);
                         #[cfg(not(feature = "telemetry"))]
                         drop(tname);
-                        worker_loop(shared, local)
+                        worker_loop(shared, local, i)
                     })
                     .expect("failed to spawn worker"),
             );
@@ -255,17 +302,19 @@ impl WorkerPool {
             SchedulerKind::WorkStealing => {
                 if job.priority != 0 {
                     let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
-                    self.shared.prio.lock().push(PrioJob {
+                    let mut heap = self.shared.prio.lock();
+                    heap.push(PrioJob {
                         priority: job.priority,
                         seq,
                         job,
                     });
+                    self.shared.prio_count.store(heap.len(), Ordering::Release);
                 } else {
                     self.shared.injector.push(job);
                 }
             }
         }
-        self.shared.wake.notify_one();
+        self.shared.announce_work();
     }
 
     /// Total jobs executed so far.
@@ -292,6 +341,12 @@ impl WorkerPool {
     /// dropped (their quiescence units are released). Idempotent.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Bump the wake counter under the sleep lock so workers between
+        // their shutdown check and their park cannot sleep through it.
+        {
+            let _guard = self.shared.sleep_lock.lock();
+            self.shared.wake_seq.fetch_add(1, Ordering::SeqCst);
+        }
         self.shared.wake.notify_all();
         for t in self.threads.lock().drain(..) {
             t.join().expect("worker panicked");
@@ -301,11 +356,12 @@ impl WorkerPool {
             let job = match self.shared.kind {
                 SchedulerKind::Central => self.shared.central.lock().pop_front(),
                 SchedulerKind::WorkStealing => {
-                    let heaped = self.shared.prio.lock().pop().map(|p| p.job);
-                    heaped.or_else(|| match self.shared.injector.steal() {
-                        crossbeam_deque::Steal::Success(j) => Some(j),
-                        _ => None,
-                    })
+                    self.shared
+                        .pop_prio()
+                        .or_else(|| match self.shared.injector.steal() {
+                            crossbeam_deque::Steal::Success(j) => Some(j),
+                            _ => None,
+                        })
                 }
             };
             match job {
@@ -316,9 +372,14 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, local: Worker<Job>) {
+fn worker_loop(shared: Arc<Shared>, local: Worker<Job>, me: usize) {
+    // Per-worker steal-scan PRNG; any odd non-zero seed works.
+    let mut rng = (me as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x243F_6A88_85A3_08D3)
+        | 1;
     loop {
-        if let Some(job) = shared.find_job(&local) {
+        if let Some(job) = shared.find_job(&local, me, &mut rng) {
             shared.metrics.queue_depth.add(-1);
             (job.f)();
             shared.metrics.executed.inc();
@@ -328,12 +389,30 @@ fn worker_loop(shared: Arc<Shared>, local: Worker<Job>) {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        // Nothing found: sleep until a submit or shutdown, with a timeout as
-        // a safety net against missed wakeups across the steal race.
+        // Prepare-to-park protocol: snapshot the wake counter, re-check for
+        // work that raced in, then park until the counter moves. Submits
+        // bump the counter under `sleep_lock`, so the re-check inside the
+        // wait loop cannot miss a wakeup — and idle workers no longer spin
+        // on a 1 ms poll.
+        let seq = shared.wake_seq.load(Ordering::SeqCst);
+        if let Some(job) = shared.find_job(&local, me, &mut rng) {
+            shared.metrics.queue_depth.add(-1);
+            (job.f)();
+            shared.metrics.executed.inc();
+            shared.quiescence.activity_finished();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
         let parked = Instant::now();
         {
             let mut guard = shared.sleep_lock.lock();
-            shared.wake.wait_for(&mut guard, Duration::from_millis(1));
+            while shared.wake_seq.load(Ordering::SeqCst) == seq
+                && !shared.shutdown.load(Ordering::SeqCst)
+            {
+                shared.wake.wait(&mut guard);
+            }
         }
         shared
             .metrics
@@ -346,6 +425,7 @@ fn worker_loop(shared: Arc<Shared>, local: Worker<Job>) {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
 
     fn run_pool(kind: SchedulerKind, workers: usize, jobs: usize) {
         let q = Arc::new(Quiescence::new());
@@ -462,12 +542,9 @@ mod tests {
             }));
         }
         q.wait_quiescent();
-        // Workers had to park at least once before work arrived.
-        std::thread::sleep(Duration::from_millis(3));
 
         assert_eq!(pool.executed(), 64);
         assert_eq!(pool.queue_depth(), 0);
-        assert!(pool.idle_ns() > 0, "workers never recorded idle time");
         let snap = reg.snapshot();
         assert_eq!(
             snap.counter(&MetricKey::ranked(2, "sched", "submitted")),
@@ -478,6 +555,25 @@ mod tests {
             snap.counter(&MetricKey::ranked(2, "sched", "steals")),
             pool.steals()
         );
+        // Idle time is recorded when a parked worker wakes, so a fixed sleep
+        // can race the bookkeeping. Poke the pool with extra jobs — each
+        // submit wakes a parked worker, which logs its idle span — and poll
+        // with a bounded retry instead of a one-shot sleep.
+        let mut extra = 0u64;
+        for _ in 0..200 {
+            if pool.idle_ns() > 0 {
+                break;
+            }
+            let c = Arc::clone(&counter);
+            pool.submit(Job::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+            extra += 1;
+            q.wait_quiescent();
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        assert!(pool.idle_ns() > 0, "workers never recorded idle time");
+        assert_eq!(pool.executed(), 64 + extra);
         pool.shutdown();
     }
 

@@ -64,6 +64,49 @@ impl Criterion {
         let name = name.into();
         run_one(self, &name, None, f);
     }
+
+    /// Run a benchmark and return its measured [`Summary`] (printing as
+    /// usual). Lets harness binaries persist results (e.g. as JSON) instead
+    /// of only reading them off the console.
+    pub fn bench_summary(
+        &mut self,
+        name: impl Into<String>,
+        throughput: Option<Throughput>,
+        f: impl FnMut(&mut Bencher),
+    ) -> Summary {
+        let name = name.into();
+        run_one(self, &name, throughput, f)
+    }
+}
+
+/// Summary statistics of one benchmark: per-iteration times across samples.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Benchmark label.
+    pub label: String,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample's per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample's per-iteration time in nanoseconds.
+    pub max_ns: f64,
+    /// Number of measured samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Declared per-iteration throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Summary {
+    /// Declared units (elements or bytes) processed per second at the mean
+    /// per-iteration time; `None` without a throughput declaration.
+    pub fn rate_per_sec(&self) -> Option<f64> {
+        let n = match self.throughput? {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        };
+        Some(n as f64 / (self.mean_ns / 1e9))
+    }
 }
 
 /// Identifier of one benchmark within a group: function name + parameter.
@@ -195,7 +238,7 @@ fn run_one(
     label: &str,
     throughput: Option<Throughput>,
     mut f: impl FnMut(&mut Bencher),
-) {
+) -> Summary {
     // Warm-up + calibration: run single-iteration samples until the warm-up
     // budget is spent, tracking the observed per-iteration cost.
     let warm_start = Instant::now();
@@ -247,6 +290,15 @@ fn run_one(
         iters,
         rate.unwrap_or_default(),
     );
+    Summary {
+        label: label.to_string(),
+        mean_ns: mean.as_nanos() as f64,
+        min_ns: min.as_nanos() as f64,
+        max_ns: max.as_nanos() as f64,
+        samples: c.sample_size,
+        iters,
+        throughput,
+    }
 }
 
 /// Declare a benchmark group the way the real criterion does.
