@@ -178,7 +178,9 @@ pub fn run(a: &BlockSparse, b: &BlockSparse, cfg: &Config) -> (BlockSparse, Exec
             }
         },
     );
-    accumulate.set_input_reducer::<0>(|acc, t| acc.add_assign(&t), None);
+    accumulate
+        .set_input_reducer::<0>(|acc, t| acc.add_assign(&t), None)
+        .expect("pre-attach");
 
     // Coordinator(rank): the paper's control-feedback loop — a bounded Ctl
     // stream matching the rank's gemm count.
@@ -193,7 +195,9 @@ pub fn run(a: &BlockSparse, b: &BlockSparse, cfg: &Config) -> (BlockSparse, Exec
             fired2.lock().unwrap()[*k as usize] = true;
         },
     );
-    coordinator.set_input_reducer::<0>(|_acc, _c| {}, None);
+    coordinator
+        .set_input_reducer::<0>(|_acc, _c| {}, None)
+        .expect("pre-attach");
 
     // Cost models.
     let row_sizes = a.row_sizes.clone();
@@ -205,16 +209,31 @@ pub fn run(a: &BlockSparse, b: &BlockSparse, cfg: &Config) -> (BlockSparse, Exec
             col_sizes[k.1 as usize],
             mid_sizes[k.2 as usize],
         ))
-    });
-    read_a.set_cost_model(|_| 300);
-    read_b.set_cost_model(|_| 300);
-    lbcast_a.set_cost_model(|_| 300);
-    lbcast_b.set_cost_model(|_| 300);
-    accumulate.set_cost_model(|_| 2_000);
-    coordinator.set_cost_model(|_| 200);
+    })
+    .expect("pre-attach");
+    read_a.set_cost_model(|_| 300).expect("pre-attach");
+    read_b.set_cost_model(|_| 300).expect("pre-attach");
+    lbcast_a.set_cost_model(|_| 300).expect("pre-attach");
+    lbcast_b.set_cost_model(|_| 300).expect("pre-attach");
+    accumulate.set_cost_model(|_| 2_000).expect("pre-attach");
+    coordinator.set_cost_model(|_| 200).expect("pre-attach");
 
+    // Static verification (active only under --check): reads are seeded and
+    // the accumulate/coordinator streams are driven externally.
+    read_a.set_check_samples(vec![(0, 0), (1, 1)]);
+    let graph = g.build();
+    ttg_check::check_if_enabled(
+        &graph,
+        cfg.ranks,
+        &[
+            (read_a.node_id(), 0),
+            (read_b.node_id(), 0),
+            (accumulate.node_id(), 0),
+            (coordinator.node_id(), 0),
+        ],
+    );
     let exec = Executor::new(
-        g.build(),
+        graph,
         ExecConfig {
             ranks: cfg.ranks,
             workers_per_rank: cfg.workers,

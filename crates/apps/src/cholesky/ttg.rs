@@ -195,21 +195,37 @@ pub fn run(a: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
     // Priority maps: keep the panel (critical path) ahead of updates.
     if cfg.priorities {
         let ntp = nt as i32;
-        potrf.set_priority_map(move |k| 10 * (ntp - *k as i32) + 3);
-        trsm.set_priority_map(move |k| 10 * (ntp - k.1 as i32) + 2);
-        syrk.set_priority_map(move |k| 10 * (ntp - k.0 as i32) + 1);
+        potrf
+            .set_priority_map(move |k| 10 * (ntp - *k as i32) + 3)
+            .expect("pre-attach");
+        trsm.set_priority_map(move |k| 10 * (ntp - k.1 as i32) + 2)
+            .expect("pre-attach");
+        syrk.set_priority_map(move |k| 10 * (ntp - k.0 as i32) + 1)
+            .expect("pre-attach");
         // GEMMs keep priority 0 (FIFO).
     }
 
     // Cost models for the discrete-event projection.
-    potrf.set_cost_model(move |_| ns_for_flops(potrf_flops(nb)));
-    trsm.set_cost_model(move |_| ns_cubed(nb));
-    syrk.set_cost_model(move |_| ns_cubed(nb));
-    gemm.set_cost_model(move |_| ns_for_flops(gemm_flops(nb, nb, nb)));
-    initiator.set_cost_model(|_| 200);
-    result_tt.set_cost_model(|_| 500);
+    potrf
+        .set_cost_model(move |_| ns_for_flops(potrf_flops(nb)))
+        .expect("pre-attach");
+    trsm.set_cost_model(move |_| ns_cubed(nb))
+        .expect("pre-attach");
+    syrk.set_cost_model(move |_| ns_cubed(nb))
+        .expect("pre-attach");
+    gemm.set_cost_model(move |_| ns_for_flops(gemm_flops(nb, nb, nb)))
+        .expect("pre-attach");
+    initiator.set_cost_model(|_| 200).expect("pre-attach");
+    result_tt.set_cost_model(|_| 500).expect("pre-attach");
+
+    // Static verification (active only under --check): the initiator
+    // terminal is the sole externally seeded input; sample corner tiles so
+    // the verifier can probe the block-cyclic keymaps.
+    initiator.set_check_samples(vec![(0, 0), (nt - 1, 0), (nt - 1, nt - 1)]);
+    let graph = g.build();
+    ttg_check::check_if_enabled(&graph, cfg.ranks, &[(initiator.node_id(), 0)]);
     let exec = Executor::new(
-        g.build(),
+        graph,
         ExecConfig {
             ranks: cfg.ranks,
             workers_per_rank: cfg.workers,

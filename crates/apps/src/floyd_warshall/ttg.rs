@@ -195,15 +195,19 @@ pub fn run(m: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
     );
 
     let cost = ns_for_flops(kernel_flops(nb));
-    ka.set_cost_model(move |_| cost);
-    kb.set_cost_model(move |_| cost);
-    kc.set_cost_model(move |_| cost);
-    kd.set_cost_model(move |_| cost);
-    initiator.set_cost_model(|_| 200);
-    res_tt.set_cost_model(|_| 500);
+    ka.set_cost_model(move |_| cost).expect("pre-attach");
+    kb.set_cost_model(move |_| cost).expect("pre-attach");
+    kc.set_cost_model(move |_| cost).expect("pre-attach");
+    kd.set_cost_model(move |_| cost).expect("pre-attach");
+    initiator.set_cost_model(|_| 200).expect("pre-attach");
+    res_tt.set_cost_model(|_| 500).expect("pre-attach");
 
+    // Static verification (active only under --check).
+    initiator.set_check_samples(vec![(0, 0), (nt - 1, 0), (nt - 1, nt - 1)]);
+    let graph = g.build();
+    ttg_check::check_if_enabled(&graph, cfg.ranks, &[(initiator.node_id(), 0)]);
     let exec = Executor::new(
-        g.build(),
+        graph,
         ExecConfig {
             ranks: cfg.ranks,
             workers_per_rank: cfg.workers,

@@ -166,7 +166,9 @@ pub fn run(w: &Workload, cfg: &Config) -> MraResult {
             }
         },
     );
-    compress.set_input_reducer::<0>(|acc, mut more| acc.parts.append(&mut more.parts), Some(8));
+    compress
+        .set_input_reducer::<0>(|acc, mut more| acc.parts.append(&mut more.parts), Some(8))
+        .expect("pre-attach");
 
     // Reconstruct(fid, node): if a detail block exists the node is
     // interior — rebuild the 8 children; otherwise it is a leaf — emit its
@@ -214,7 +216,9 @@ pub fn run(w: &Workload, cfg: &Config) -> MraResult {
             }
         },
     );
-    normup.set_input_reducer::<0>(|a, b| *a += b, Some(8));
+    normup
+        .set_input_reducer::<0>(|a, b| *a += b, Some(8))
+        .expect("pre-attach");
 
     let norms2 = Arc::clone(&norms);
     let norm_result = g.make_tt(
@@ -228,17 +232,27 @@ pub fn run(w: &Workload, cfg: &Config) -> MraResult {
     );
 
     let k = w.k;
-    project.set_cost_model(move |_| 2 * node_cost_ns(k));
-    compress.set_cost_model(move |_| node_cost_ns(k));
+    project
+        .set_cost_model(move |_| 2 * node_cost_ns(k))
+        .expect("pre-attach");
+    compress
+        .set_cost_model(move |_| node_cost_ns(k))
+        .expect("pre-attach");
     // Reconstruct runs once per tree node, but only the ~1/8 interior
     // nodes perform the inverse transform; leaf instances merely emit a
     // norm contribution. Charge the amortized mix.
-    reconstruct.set_cost_model(move |_| node_cost_ns(k) / 8 + 500);
-    normup.set_cost_model(|_| 500);
-    norm_result.set_cost_model(|_| 500);
+    reconstruct
+        .set_cost_model(move |_| node_cost_ns(k) / 8 + 500)
+        .expect("pre-attach");
+    normup.set_cost_model(|_| 500).expect("pre-attach");
+    norm_result.set_cost_model(|_| 500).expect("pre-attach");
 
+    // Static verification (active only under --check).
+    project.set_check_samples(vec![(0, Node3::root())]);
+    let graph = g.build();
+    ttg_check::check_if_enabled(&graph, cfg.ranks, &[(project.node_id(), 0)]);
     let exec = Executor::new(
-        g.build(),
+        graph,
         ExecConfig {
             ranks: cfg.ranks,
             workers_per_rank: cfg.workers,

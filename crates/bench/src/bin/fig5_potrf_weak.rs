@@ -66,10 +66,24 @@ impl MetricsRow {
     }
 }
 
+fn check_json() -> String {
+    // The graph verifier runs before every TTG execution in this binary
+    // (enabled unconditionally in main); embed its latest summary so the
+    // metrics artifact records that the graphs it measures were verified.
+    match ttg_check::last_summary() {
+        Some(s) => format!(
+            "{{\"nodes\":{},\"edges\":{},\"errors\":{},\"warnings\":{},\"notes\":{}}}",
+            s.nodes, s.edges, s.errors, s.warnings, s.notes
+        ),
+        None => "null".to_string(),
+    }
+}
+
 fn write_metrics(rows: &[MetricsRow]) {
     let body: Vec<String> = rows.iter().map(MetricsRow::to_json).collect();
     let doc = format!(
-        "{{\"benchmark\":\"fig5_potrf_weak\",\"runs\":[{}]}}",
+        "{{\"benchmark\":\"fig5_potrf_weak\",\"check\":{},\"runs\":[{}]}}",
+        check_json(),
         body.join(",")
     );
     debug_assert!(ttg_telemetry::json::validate(&doc).is_ok());
@@ -83,6 +97,10 @@ fn write_metrics(rows: &[MetricsRow]) {
 }
 
 fn main() {
+    // Verify every TTG graph this benchmark builds; an errored graph aborts
+    // the run rather than producing bogus metrics. The check report lands
+    // in results/check_report.json next to the metrics.
+    ttg_check::enable();
     let nodes = [1usize, 4, 16, 64];
     let mut s_ttg_parsec = Series::new("TTG/PaRSEC");
     let mut s_ttg_madness = Series::new("TTG/MADNESS");

@@ -1,0 +1,110 @@
+//! Runtime-report sanitization: turn the structured records an execution
+//! leaves behind ([`ExecReport::violations`] from the `checked` feature's
+//! matching-path instrumentation, [`ExecReport::stuck`] from the
+//! termination-time matching-table sweep) into the same coded diagnostics
+//! the static verifier emits.
+
+use ttg_core::{ExecReport, StuckEntry, Violation};
+
+use crate::report::{Diagnostic, Report};
+
+/// Diagnostic for one runtime violation. The code comes from
+/// [`Violation::code`]; the violation's own display text (minus the code
+/// prefix) becomes the message.
+pub fn violation_diagnostic(v: &Violation) -> Diagnostic {
+    let full = v.to_string();
+    let message = full
+        .strip_prefix(v.code())
+        .map(str::trim_start)
+        .unwrap_or(&full)
+        .to_string();
+    let mut d = Diagnostic::error(v.code(), message);
+    match v {
+        Violation::ExactlyOnce {
+            node,
+            terminal,
+            key,
+        }
+        | Violation::SetSizeOnPlain {
+            node,
+            terminal,
+            key,
+        }
+        | Violation::DoubleFinalize {
+            node,
+            terminal,
+            key,
+        }
+        | Violation::FinalizeUnknownKey {
+            node,
+            terminal,
+            key,
+        }
+        | Violation::FinalizeNonStream {
+            node,
+            terminal,
+            key,
+        }
+        | Violation::StreamWithoutReducer {
+            node,
+            terminal,
+            key,
+        } => {
+            d = d.on_node(*node).on_terminal(*terminal).for_key(key.clone());
+        }
+        Violation::StreamOverrun {
+            node,
+            terminal,
+            key,
+            ..
+        }
+        | Violation::SizeBelowReceived {
+            node,
+            terminal,
+            key,
+            ..
+        } => {
+            d = d.on_node(*node).on_terminal(*terminal).for_key(key.clone());
+        }
+        Violation::EmptyStream { node, key } => {
+            d = d.on_node(*node).for_key(key.clone());
+        }
+        Violation::DroppedSend { edge, .. } => {
+            d = d.on_edge(edge.clone());
+        }
+    }
+    d
+}
+
+/// Diagnostic `TTG030` for one stuck (partially matched) key: the
+/// structured form of a deadlock that would otherwise be a silent hang.
+pub fn stuck_diagnostic(s: &StuckEntry) -> Diagnostic {
+    let mut d = Diagnostic::error("TTG030", format!("stuck key at termination: {s}"))
+        .on_node(s.node)
+        .for_key(s.key.clone())
+        .on_rank(s.rank)
+        .with_help(
+            "every input terminal must receive a message (or a complete stream) \
+             for this key; check the producers of the listed terminals",
+        );
+    if let Some((t, _)) = s.missing.first() {
+        d = d.on_terminal(*t);
+    }
+    d
+}
+
+/// Convert an execution's runtime findings into a coded [`Report`].
+///
+/// Empty `violations` and `stuck` produce a clean report. Violations keep
+/// their [`Violation::code`]s (TTG02x, TTG031); each stuck key becomes a
+/// `TTG030` error.
+pub fn report_from_exec(exec: &ExecReport) -> Report {
+    let mut report = Report::new(exec.per_node.len(), 0);
+    for v in &exec.violations {
+        report.push(violation_diagnostic(v));
+    }
+    for s in &exec.stuck {
+        report.push(stuck_diagnostic(s));
+    }
+    report
+}

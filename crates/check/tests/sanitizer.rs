@@ -1,0 +1,366 @@
+//! Runtime-sanitizer tests: every matching-path misuse that panics (or
+//! silently corrupts) in a plain build becomes a structured
+//! [`Violation`](ttg_core::Violation) under the `checked` feature, and the
+//! execution completes normally.
+#![cfg(feature = "checked")]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ttg_check::report_from_exec;
+use ttg_core::prelude::*;
+use ttg_core::Violation;
+
+/// A second plain message for the same key is dropped and reported as
+/// TTG020, and the half-matched entry shows up in the stuck report.
+#[test]
+fn exactly_once_violation_reported_not_panicked() {
+    let a: Edge<u32, u64> = Edge::new("a");
+    let b: Edge<u32, u64> = Edge::new("b");
+    let mut g = GraphBuilder::new();
+    let join = g.make_tt(
+        "join",
+        (a, b),
+        (),
+        |_| 0usize,
+        |_, (_x, _y): (u64, u64), _| {},
+    );
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    join.in_ref::<0>().seed(exec.ctx(), 7, 1);
+    join.in_ref::<0>().seed(exec.ctx(), 7, 2);
+    let report = exec.finish();
+    assert_eq!(report.tasks, 0);
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    match &report.violations[0] {
+        Violation::ExactlyOnce {
+            node,
+            terminal,
+            key,
+        } => {
+            assert_eq!(*node, "join");
+            assert_eq!(*terminal, 0);
+            assert_eq!(key, "7");
+        }
+        v => panic!("wrong violation: {v:?}"),
+    }
+    assert_eq!(report.violations[0].code(), "TTG020");
+    // The same execution also leaves the half-matched key stuck; the
+    // sanitizer report carries both codes.
+    let checked = report_from_exec(&report);
+    assert!(checked.has_code("TTG020"), "{}", checked.render());
+    assert!(checked.has_code("TTG030"), "{}", checked.render());
+}
+
+/// A message past the declared stream size is dropped and reported as
+/// TTG021 with the already-received count.
+#[test]
+fn stream_overrun_reported() {
+    let s: Edge<u32, u64> = Edge::new("s");
+    let gate: Edge<u32, u64> = Edge::new("gate");
+    let mut g = GraphBuilder::new();
+    let acc = g.make_tt(
+        "acc",
+        (s, gate),
+        (),
+        |_| 0usize,
+        |_, (_sum, _g): (u64, u64), _| {},
+    );
+    acc.set_input_reducer::<0>(|a, b| *a += b, Some(1))
+        .expect("pre-attach");
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    acc.in_ref::<0>().seed(exec.ctx(), 1, 10);
+    acc.in_ref::<0>().seed(exec.ctx(), 1, 11); // past the declared size
+    let report = exec.finish();
+    match &report.violations[..] {
+        [Violation::StreamOverrun {
+            node,
+            terminal,
+            key,
+            received,
+        }] => {
+            assert_eq!(*node, "acc");
+            assert_eq!(*terminal, 0);
+            assert_eq!(key, "1");
+            assert_eq!(*received, 1);
+        }
+        v => panic!("wrong violations: {v:?}"),
+    }
+    assert_eq!(report.violations[0].code(), "TTG021");
+}
+
+/// `set_stream_size` aimed at a terminal already holding a plain input is
+/// reported as TTG022.
+#[test]
+fn set_size_on_plain_reported() {
+    let a: Edge<u32, u64> = Edge::new("a");
+    let b: Edge<u32, u64> = Edge::new("b");
+    let mut g = GraphBuilder::new();
+    let join = g.make_tt(
+        "join",
+        (a, b),
+        (),
+        |_| 0usize,
+        |_, (_x, _y): (u64, u64), _| {},
+    );
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    join.in_ref::<0>().seed(exec.ctx(), 3, 1);
+    join.in_ref::<0>().set_size_external(exec.ctx(), &3, 2);
+    let report = exec.finish();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.violations[0].code(), "TTG022");
+    assert!(matches!(
+        &report.violations[0],
+        Violation::SetSizeOnPlain {
+            node: "join",
+            terminal: 0,
+            ..
+        }
+    ));
+}
+
+/// Declaring a stream size below what was already received is TTG022.
+#[test]
+fn size_below_received_reported() {
+    let s: Edge<u32, u64> = Edge::new("s");
+    let gate: Edge<u32, u64> = Edge::new("gate");
+    let mut g = GraphBuilder::new();
+    let acc = g.make_tt(
+        "acc",
+        (s, gate),
+        (),
+        |_| 0usize,
+        |_, (_sum, _g): (u64, u64), _| {},
+    );
+    acc.set_input_reducer::<0>(|a, b| *a += b, None)
+        .expect("pre-attach");
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    acc.in_ref::<0>().seed(exec.ctx(), 1, 10);
+    acc.in_ref::<0>().seed(exec.ctx(), 1, 11);
+    acc.in_ref::<0>().set_size_external(exec.ctx(), &1, 1); // already got 2
+    let report = exec.finish();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    match &report.violations[0] {
+        Violation::SizeBelowReceived { size, received, .. } => {
+            assert_eq!(*size, 1);
+            assert_eq!(*received, 2);
+        }
+        v => panic!("wrong violation: {v:?}"),
+    }
+    assert_eq!(report.violations[0].code(), "TTG022");
+}
+
+/// Finalizing a stream twice is TTG023 and the execution still quiesces.
+/// The second input terminal is never fed, so the entry stays parked and
+/// the double finalize has an entry to hit.
+#[test]
+fn double_finalize_reported() {
+    let go: Edge<u32, u64> = Edge::new("go");
+    let data: Edge<u32, u64> = Edge::new("data");
+    let gate: Edge<u32, u64> = Edge::new("gate");
+    let mut g = GraphBuilder::new();
+    let acc = g.make_tt(
+        "acc",
+        (data.clone(), gate),
+        (),
+        |_| 0usize,
+        |_, (_sum, _g): (u64, u64), _| {},
+    );
+    acc.set_input_reducer::<0>(|a, b| *a += b, None)
+        .expect("pre-attach");
+    let acc0 = acc.in_ref::<0>();
+    let driver = g.make_tt(
+        "driver",
+        (go,),
+        (data,),
+        |_| 0usize,
+        move |k: &u32, (v,): (u64,), outs| {
+            // Local send: inserted synchronously, so the finalizes below
+            // are ordered after it.
+            outs.send::<0>(*k, v);
+            acc0.finalize(outs, k);
+            acc0.finalize(outs, k); // the bug under test
+        },
+    );
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    driver.in_ref::<0>().seed(exec.ctx(), 5, 100);
+    let report = exec.finish();
+    assert_eq!(report.tasks, 1); // only the driver ran
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert!(matches!(
+        &report.violations[0],
+        Violation::DoubleFinalize {
+            node: "acc",
+            terminal: 0,
+            ..
+        }
+    ));
+    assert_eq!(report.violations[0].code(), "TTG023");
+}
+
+/// Finalizing a key that never received a message is TTG023.
+#[test]
+fn finalize_unknown_key_reported() {
+    let go: Edge<u32, u64> = Edge::new("go");
+    let data: Edge<u32, u64> = Edge::new("data");
+    let mut g = GraphBuilder::new();
+    let acc = g.make_tt("acc", (data,), (), |_| 0usize, |_, (_s,): (u64,), _| {});
+    acc.set_input_reducer::<0>(|a, b| *a += b, None)
+        .expect("pre-attach");
+    let acc0 = acc.in_ref::<0>();
+    let driver = g.make_tt(
+        "driver",
+        (go,),
+        (),
+        |_| 0usize,
+        move |k: &u32, (_v,): (u64,), outs| {
+            acc0.finalize(outs, &(k + 1000)); // nobody ever sent to this key
+        },
+    );
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    driver.in_ref::<0>().seed(exec.ctx(), 5, 1);
+    let report = exec.finish();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert!(matches!(
+        &report.violations[0],
+        Violation::FinalizeUnknownKey { node: "acc", .. }
+    ));
+    assert_eq!(report.violations[0].code(), "TTG023");
+}
+
+/// Finalizing a non-streaming (plain) terminal is TTG023.
+#[test]
+fn finalize_non_stream_reported() {
+    let go: Edge<u32, u64> = Edge::new("go");
+    let data: Edge<u32, u64> = Edge::new("data");
+    let gate: Edge<u32, u64> = Edge::new("gate");
+    let mut g = GraphBuilder::new();
+    let join = g.make_tt(
+        "join",
+        (data.clone(), gate),
+        (),
+        |_| 0usize,
+        |_, (_x, _y): (u64, u64), _| {},
+    );
+    let join0 = join.in_ref::<0>();
+    let driver = g.make_tt(
+        "driver",
+        (go,),
+        (data,),
+        |_| 0usize,
+        move |k: &u32, (v,): (u64,), outs| {
+            outs.send::<0>(*k, v); // plain input, no reducer
+            join0.finalize(outs, k);
+        },
+    );
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    driver.in_ref::<0>().seed(exec.ctx(), 2, 9);
+    let report = exec.finish();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert!(matches!(
+        &report.violations[0],
+        Violation::FinalizeNonStream {
+            node: "join",
+            terminal: 0,
+            ..
+        }
+    ));
+    assert_eq!(report.violations[0].code(), "TTG023");
+}
+
+/// A stream closed with zero messages has no identity value; the task is
+/// suppressed and TTG024 reported instead of a launch-time panic.
+#[test]
+fn empty_stream_reported() {
+    let s: Edge<u32, u64> = Edge::new("s");
+    let ran = Arc::new(AtomicU64::new(0));
+    let ran2 = Arc::clone(&ran);
+    let mut g = GraphBuilder::new();
+    let acc = g.make_tt(
+        "acc",
+        (s,),
+        (),
+        |_| 0usize,
+        move |_, (_x,): (u64,), _| {
+            ran2.fetch_add(1, Ordering::SeqCst);
+        },
+    );
+    acc.set_input_reducer::<0>(|a, b| *a += b, None)
+        .expect("pre-attach");
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    // Size 0 with no messages: the stream completes empty.
+    acc.in_ref::<0>().set_size_external(exec.ctx(), &4, 0);
+    let report = exec.finish();
+    assert_eq!(ran.load(Ordering::SeqCst), 0);
+    assert_eq!(report.tasks, 0);
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert!(matches!(
+        &report.violations[0],
+        Violation::EmptyStream { node: "acc", .. }
+    ));
+    assert_eq!(report.violations[0].code(), "TTG024");
+}
+
+/// A message arriving on a terminal turned into a stream (via
+/// `set_stream_size`) with no reducer installed is TTG026.
+#[test]
+fn stream_without_reducer_reported() {
+    let go: Edge<u32, u64> = Edge::new("go");
+    let data: Edge<u32, u64> = Edge::new("data");
+    let mut g = GraphBuilder::new();
+    let acc = g.make_tt("acc", (data.clone(),), (), |_| 0usize, {
+        |_: &u32, (_x,): (u64,), _: &Outs<'_, _>| {}
+    });
+    let acc0 = acc.in_ref::<0>();
+    let driver = g.make_tt(
+        "driver",
+        (go,),
+        (data,),
+        |_| 0usize,
+        move |k: &u32, (v,): (u64,), outs| {
+            acc0.set_size(outs, k, 2); // makes the slot a stream…
+            outs.send::<0>(*k, v); // …but no reducer is installed
+        },
+    );
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    driver.in_ref::<0>().seed(exec.ctx(), 6, 1);
+    let report = exec.finish();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert!(matches!(
+        &report.violations[0],
+        Violation::StreamWithoutReducer {
+            node: "acc",
+            terminal: 0,
+            ..
+        }
+    ));
+    assert_eq!(report.violations[0].code(), "TTG026");
+}
+
+/// Sends on a consumer-less edge are recorded as TTG031 (in addition to the
+/// always-on dropped-sends metric).
+#[test]
+fn dropped_send_recorded() {
+    let input: Edge<u32, u64> = Edge::new("input");
+    let void: Edge<u32, u64> = Edge::new("void");
+    let mut g = GraphBuilder::new();
+    let src = g.make_tt(
+        "src",
+        (input,),
+        (void,),
+        |_| 0usize,
+        |k: &u32, (x,): (u64,), outs: &Outs<'_, _>| outs.send::<0>(*k, x),
+    );
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    src.in_ref::<0>().seed(exec.ctx(), 1, 42);
+    let report = exec.finish();
+    assert_eq!(report.tasks, 1);
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    match &report.violations[0] {
+        Violation::DroppedSend { edge, keys } => {
+            assert_eq!(edge, "void");
+            assert_eq!(*keys, 1);
+        }
+        v => panic!("wrong violation: {v:?}"),
+    }
+    assert_eq!(report.violations[0].code(), "TTG031");
+}

@@ -1,0 +1,167 @@
+//! Quiescence edge cases that hold in *every* build (with or without the
+//! `checked` feature): half-matched keys surface as a structured stuck-key
+//! report instead of a hang, and consumer-less sends are always counted.
+
+use std::sync::Arc;
+
+use ttg_check::{report_from_exec, stuck_diagnostic};
+use ttg_core::prelude::*;
+
+/// A two-input join fed on only one terminal quiesces (does not hang) and
+/// the report names the exact node, terminal, and key that are stuck.
+#[test]
+fn half_matched_key_produces_stuck_report() {
+    let a: Edge<u32, u64> = Edge::new("a");
+    let b: Edge<u32, u64> = Edge::new("b");
+    let mut g = GraphBuilder::new();
+    let join = g.make_tt(
+        "join",
+        (a, b),
+        (),
+        |_| 0usize,
+        |_, (_x, _y): (u64, u64), _| {},
+    );
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    join.in_ref::<0>().seed(exec.ctx(), 7, 1);
+    let report = exec.finish();
+    assert_eq!(report.tasks, 0);
+    assert_eq!(report.stuck.len(), 1, "{:?}", report.stuck);
+    let s = &report.stuck[0];
+    assert_eq!(s.node, "join");
+    assert_eq!(s.key, "7");
+    assert_eq!(s.rank, 0);
+    assert_eq!(s.filled, vec![0]);
+    assert_eq!(s.missing.len(), 1);
+    assert_eq!(s.missing[0].0, 1);
+    // The rendered report names all three coordinates.
+    let text = s.to_string();
+    assert!(text.contains("'join'"), "{text}");
+    assert!(text.contains("key 7"), "{text}");
+    assert!(text.contains("terminal 1"), "{text}");
+    // And the diagnostic form is the TTG030 deadlock report.
+    let d = stuck_diagnostic(s);
+    assert_eq!(d.code, "TTG030");
+    assert_eq!(d.node.as_deref(), Some("join"));
+    assert_eq!(d.terminal, Some(1));
+    assert_eq!(d.key.as_deref(), Some("7"));
+    let checked = report_from_exec(&report);
+    assert!(checked.has_code("TTG030"));
+    assert_eq!(checked.errors(), 1);
+}
+
+/// Stuck keys are reported per key and per rank across a distributed run.
+#[test]
+fn stuck_report_covers_multiple_keys_and_ranks() {
+    let a: Edge<u32, u64> = Edge::new("a");
+    let b: Edge<u32, u64> = Edge::new("b");
+    let mut g = GraphBuilder::new();
+    let join = g.make_tt(
+        "join",
+        (a, b),
+        (),
+        |k: &u32| *k as usize % 2,
+        |_, (_x, _y): (u64, u64), _| {},
+    );
+    let exec = Executor::new(
+        g.build(),
+        ExecConfig::distributed(2, 1, BackendSpec::default_spec()),
+    );
+    for k in 0..4u32 {
+        join.in_ref::<0>().seed(exec.ctx(), k, u64::from(k));
+    }
+    let report = exec.finish();
+    assert_eq!(report.stuck.len(), 4, "{:?}", report.stuck);
+    let mut ranks: Vec<usize> = report.stuck.iter().map(|s| s.rank).collect();
+    ranks.sort_unstable();
+    assert_eq!(ranks, vec![0, 0, 1, 1]);
+}
+
+/// A completed execution leaves no stuck entries.
+#[test]
+fn complete_execution_has_empty_stuck_report() {
+    let a: Edge<u32, u64> = Edge::new("a");
+    let b: Edge<u32, u64> = Edge::new("b");
+    let mut g = GraphBuilder::new();
+    let join = g.make_tt(
+        "join",
+        (a, b),
+        (),
+        |_| 0usize,
+        |_, (_x, _y): (u64, u64), _| {},
+    );
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    join.in_ref::<0>().seed(exec.ctx(), 7, 1);
+    join.in_ref::<1>().seed(exec.ctx(), 7, 2);
+    let report = exec.finish();
+    assert_eq!(report.tasks, 1);
+    assert!(report.stuck.is_empty(), "{:?}", report.stuck);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+/// Finalizing an unbounded stream twice on a still-incomplete entry does
+/// not panic or hang in any build; the entry shows up stuck (its other
+/// terminal was never fed). Under `checked` the second finalize is also
+/// recorded as a TTG023 violation.
+#[test]
+fn double_finalize_leaves_stuck_entry_without_hanging() {
+    let go: Edge<u32, u64> = Edge::new("go");
+    let data: Edge<u32, u64> = Edge::new("data");
+    let gate: Edge<u32, u64> = Edge::new("gate");
+    let mut g = GraphBuilder::new();
+    let acc = g.make_tt(
+        "acc",
+        (data.clone(), gate),
+        (),
+        |_| 0usize,
+        |_, (_sum, _g): (u64, u64), _| {},
+    );
+    acc.set_input_reducer::<0>(|a, b| *a += b, None)
+        .expect("pre-attach");
+    let acc0 = acc.in_ref::<0>();
+    let driver = g.make_tt(
+        "driver",
+        (go,),
+        (data,),
+        |_| 0usize,
+        move |k: &u32, (v,): (u64,), outs| {
+            outs.send::<0>(*k, v);
+            acc0.finalize(outs, k);
+            acc0.finalize(outs, k);
+        },
+    );
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    driver.in_ref::<0>().seed(exec.ctx(), 5, 100);
+    let report = exec.finish();
+    assert_eq!(report.tasks, 1); // the driver; 'acc' never assembles
+    assert_eq!(report.stuck.len(), 1, "{:?}", report.stuck);
+    assert_eq!(report.stuck[0].node, "acc");
+    assert_eq!(report.stuck[0].key, "5");
+    #[cfg(feature = "checked")]
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    #[cfg(not(feature = "checked"))]
+    assert!(report.violations.is_empty());
+}
+
+/// Sends on an edge with no consumer are dropped *and counted* in the
+/// always-on `core/dropped_sends` metric — never silently lost.
+#[test]
+fn dropped_sends_are_counted() {
+    let input: Edge<u32, u64> = Edge::new("input");
+    let void: Edge<u32, u64> = Edge::new("void");
+    let mut g = GraphBuilder::new();
+    let src = g.make_tt(
+        "src",
+        (input,),
+        (void,),
+        |_| 0usize,
+        |k: &u32, (x,): (u64,), outs: &Outs<'_, _>| outs.send::<0>(*k, x),
+    );
+    let exec = Executor::new(g.build(), ExecConfig::local(1));
+    let ctx: Arc<_> = Arc::clone(exec.ctx());
+    for k in 0..3u32 {
+        src.in_ref::<0>().seed(exec.ctx(), k, 42);
+    }
+    let report = exec.finish();
+    assert_eq!(report.tasks, 3);
+    assert_eq!(ctx.metrics.dropped_sends_total(), 3);
+}

@@ -19,6 +19,7 @@ pub struct CoreMetrics {
     reducer_folds: Vec<Counter>,
     local_copies: Vec<Counter>,
     local_shared: Vec<Counter>,
+    dropped_sends: Vec<Counter>,
 }
 
 impl CoreMetrics {
@@ -35,6 +36,7 @@ impl CoreMetrics {
             reducer_folds: per_rank("reducer_folds"),
             local_copies: per_rank("local_copies"),
             local_shared: per_rank("local_shared"),
+            dropped_sends: per_rank("dropped_sends"),
         }
     }
 
@@ -77,6 +79,21 @@ impl CoreMetrics {
     pub fn local_shared(&self, rank: usize) -> u64 {
         self.local_shared[rank].get()
     }
+
+    /// `n` sends on `rank` were dropped because their edge has no consumer.
+    pub fn count_dropped_sends(&self, rank: usize, n: u64) {
+        self.dropped_sends[rank].add(n);
+    }
+
+    /// Sends dropped so far on `rank` (zero-consumer edges).
+    pub fn dropped_sends(&self, rank: usize) -> u64 {
+        self.dropped_sends[rank].get()
+    }
+
+    /// Sends dropped so far across all ranks.
+    pub fn dropped_sends_total(&self) -> u64 {
+        self.dropped_sends.iter().map(Counter::get).sum()
+    }
 }
 
 /// Everything a task or a delivery path needs at run time: the fabric, the
@@ -97,6 +114,9 @@ pub struct RuntimeCtx {
     pub nodes: OnceLock<Vec<Arc<dyn AnyNode>>>,
     /// Core-layer counters (activations, folds, local-pass behavior).
     pub metrics: CoreMetrics,
+    /// Runtime-sanitizer violation log (populated by `checked` call sites
+    /// and zero-consumer edge drops; drained into the execution report).
+    pub sanitizer: crate::inspect::Sanitizer,
     next_task: AtomicU64,
 }
 
@@ -116,6 +136,7 @@ impl RuntimeCtx {
             },
             nodes: OnceLock::new(),
             metrics,
+            sanitizer: crate::inspect::Sanitizer::default(),
             next_task: AtomicU64::new(1),
         })
     }

@@ -32,8 +32,13 @@ pub trait ConsumerPort<K: Key, V: Data>: Send + Sync {
     fn seed(&self, k: K, v: V, ctx: &Arc<RuntimeCtx>);
 }
 
+/// Process-global edge id allocator: gives every edge a stable identity the
+/// static verifier can correlate across input and output terminal lists.
+static NEXT_EDGE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
 /// Shared state of an edge: the registered consumer ports.
 pub struct EdgeState<K: Key, V: Data> {
+    id: u64,
     name: String,
     consumers: RwLock<Vec<Arc<dyn ConsumerPort<K, V>>>>,
 }
@@ -58,6 +63,7 @@ impl<K: Key, V: Data> Edge<K, V> {
     pub fn new(name: impl Into<String>) -> Self {
         Edge {
             state: Arc::new(EdgeState {
+                id: NEXT_EDGE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
                 name: name.into(),
                 consumers: RwLock::new(Vec::new()),
             }),
@@ -67,6 +73,19 @@ impl<K: Key, V: Data> Edge<K, V> {
     /// Edge name (diagnostics).
     pub fn name(&self) -> &str {
         &self.state.name
+    }
+
+    /// Process-unique edge id: clones of this edge share it.
+    pub fn id(&self) -> u64 {
+        self.state.id
+    }
+
+    /// Identity declaration recorded on node terminal lists by `make_tt`.
+    pub fn decl(&self) -> crate::inspect::EdgeDecl {
+        crate::inspect::EdgeDecl {
+            edge_id: self.state.id,
+            name: self.state.name.clone(),
+        }
     }
 
     /// Register a consumer port (done by `make_tt` for each input edge).
@@ -415,11 +434,20 @@ impl<K: Key, V: Data> OutTerm<K, V> {
             return;
         }
         self.edge.with_consumers(|ports| {
-            assert!(
-                !ports.is_empty(),
-                "edge '{}' has no consumer terminal",
-                self.edge.name()
-            );
+            if ports.is_empty() {
+                // No consumer terminal: the value has nowhere to go. Count
+                // the drop so the sanitizer and telemetry can report it
+                // instead of losing the data invisibly (diagnostic TTG031;
+                // the static verifier flags the same shape as TTG002).
+                ctx.metrics.count_dropped_sends(src_rank, keys.len() as u64);
+                #[cfg(feature = "checked")]
+                ctx.sanitizer
+                    .record(crate::inspect::Violation::DroppedSend {
+                        edge: self.edge.name().to_string(),
+                        keys: keys.len(),
+                    });
+                return;
+            }
             for port in &ports[..ports.len() - 1] {
                 port.route(keys, v.clone(), from_task, src_rank, ctx);
             }

@@ -72,6 +72,14 @@ pub struct ExecReport {
     pub trace: Option<Vec<TaskEvent>>,
     /// Full telemetry snapshot (comm, sched, core subsystems) at finish.
     pub telemetry: ttg_telemetry::Snapshot,
+    /// Runtime-sanitizer violations recorded during the run (populated by
+    /// the `checked` feature's matching-path instrumentation; always
+    /// includes nothing when the feature is off).
+    pub violations: Vec<crate::inspect::Violation>,
+    /// Partially matched keys left in the matching tables at quiescence:
+    /// the stuck-key deadlock report. Non-empty means some tasks could
+    /// never fire — the structured form of a silent hang.
+    pub stuck: Vec<crate::inspect::StuckEntry>,
 }
 
 /// A running TTG execution.
@@ -195,6 +203,15 @@ impl Executor {
             .map(|n| (n.node_name(), n.tasks_executed()))
             .collect();
         let tasks = per_node.iter().map(|(_, t)| t).sum();
+        // Quiescent but incomplete matching entries = tasks that will never
+        // fire. Collecting them here costs nothing on the hot path and
+        // turns a would-be silent hang into a structured report.
+        let stuck = self
+            .graph
+            .nodes()
+            .iter()
+            .flat_map(|n| n.pending_detail())
+            .collect();
         ExecReport {
             elapsed,
             comm: self.ctx.fabric.stats().snapshot(),
@@ -202,6 +219,8 @@ impl Executor {
             per_node,
             trace: self.ctx.trace.as_ref().map(|t| t.take()),
             telemetry: self.ctx.fabric.telemetry().snapshot(),
+            violations: self.ctx.sanitizer.take(),
+            stuck,
         }
     }
 }

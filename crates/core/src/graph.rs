@@ -4,6 +4,7 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 
 use crate::ctx::RuntimeCtx;
+use crate::inspect::MutationError;
 use crate::node::{AnyNode, NodeInner, ReducerSpec};
 use crate::outs::{InRef, Outs};
 use crate::tuples::{EdgeList, OutEdgeList, ValueAt};
@@ -45,6 +46,7 @@ impl GraphBuilder {
     {
         let id = self.nodes.len() as u32;
         let node = Arc::new(NodeInner::new(id, name, inputs.metas(), Arc::new(keymap)));
+        node.set_topology(inputs.decls(), outputs.decls());
         inputs.connect(&node);
         let terms = outputs.terms();
         node.set_invoke(Arc::new(
@@ -122,11 +124,15 @@ impl<K: Key, VS: 'static, TS> TtHandle<K, VS, TS> {
     /// message stream for its task ID. `size` fixes the expected stream
     /// length for every key; `None` makes streams unbounded — close them
     /// with [`InRef::set_size`]/[`InRef::finalize`].
+    ///
+    /// Fails with [`MutationError`] (diagnostic `TTG010`) once an executor
+    /// has attached the graph: node maps are frozen at attach.
     pub fn set_input_reducer<const I: usize>(
         &self,
         op: impl Fn(&mut <VS as ValueAt<I>>::V, <VS as ValueAt<I>>::V) + Send + Sync + 'static,
         size: Option<usize>,
-    ) where
+    ) -> Result<(), MutationError>
+    where
         VS: ValueAt<I>,
     {
         type V<VS, const I: usize> = <VS as ValueAt<I>>::V;
@@ -150,7 +156,7 @@ impl<K: Key, VS: 'static, TS> TtHandle<K, VS, TS> {
                 op: fold,
                 default_size: size,
             },
-        );
+        )
     }
 
     /// Reference to input terminal `I`, for seeding and stream control.
@@ -161,21 +167,39 @@ impl<K: Key, VS: 'static, TS> TtHandle<K, VS, TS> {
         InRef::new(Arc::clone(&self.node), I as u16)
     }
 
-    /// Replace the keymap.
-    pub fn set_keymap(&self, f: impl Fn(&K) -> usize + Send + Sync + 'static) {
-        self.node.set_keymap(Arc::new(f));
+    /// Replace the keymap. Fails with `TTG010` after executor attach.
+    pub fn set_keymap(
+        &self,
+        f: impl Fn(&K) -> usize + Send + Sync + 'static,
+    ) -> Result<(), MutationError> {
+        self.node.set_keymap(Arc::new(f))
     }
 
     /// Install a priority map: larger values are scheduled earlier on
     /// backends that honor priorities (paper §II, new feature).
-    pub fn set_priority_map(&self, f: impl Fn(&K) -> i32 + Send + Sync + 'static) {
-        self.node.set_priomap(Arc::new(f));
+    /// Fails with `TTG010` after executor attach.
+    pub fn set_priority_map(
+        &self,
+        f: impl Fn(&K) -> i32 + Send + Sync + 'static,
+    ) -> Result<(), MutationError> {
+        self.node.set_priomap(Arc::new(f))
     }
 
     /// Install a cost model (ns per task) used by trace-based projection
-    /// instead of measured durations.
-    pub fn set_cost_model(&self, f: impl Fn(&K) -> u64 + Send + Sync + 'static) {
-        self.node.set_costmap(Arc::new(f));
+    /// instead of measured durations. Fails with `TTG010` after executor
+    /// attach.
+    pub fn set_cost_model(
+        &self,
+        f: impl Fn(&K) -> u64 + Send + Sync + 'static,
+    ) -> Result<(), MutationError> {
+        self.node.set_costmap(Arc::new(f))
+    }
+
+    /// Register sample keys for the static verifier's keymap probing
+    /// (diagnostics TTG004/TTG005). The keys are stored but only evaluated
+    /// when a verifier runs, so this is cheap to call unconditionally.
+    pub fn set_check_samples(&self, keys: Vec<K>) {
+        self.node.set_check_samples(keys);
     }
 
     /// Tasks of this template executed so far.

@@ -53,6 +53,7 @@ pub mod edge;
 pub mod executor;
 pub mod export;
 pub mod graph;
+pub mod inspect;
 pub mod node;
 pub mod outs;
 pub mod trace;
@@ -65,6 +66,7 @@ pub use edge::{ConsumerPort, Edge, OutTerm};
 pub use executor::{ExecConfig, ExecReport, Executor};
 pub use export::{chrome_trace, layout_task_slices};
 pub use graph::{Graph, GraphBuilder, TtHandle};
+pub use inspect::{EdgeDecl, KeymapProbe, MutationError, ReducerDecl, StuckEntry, Violation};
 pub use outs::{InRef, Outs};
 pub use trace::{Dep, TaskEvent, TraceRecorder};
 pub use types::{Ctl, Data, Key, LocalPass};

@@ -18,8 +18,12 @@ use parking_lot::{Mutex, RwLock};
 use ttg_comm::{ReadBuf, WireError, WriteBuf};
 
 use crate::ctx::RuntimeCtx;
+use crate::inspect::{EdgeDecl, KeymapProbe, MutationError, ReducerDecl, StuckEntry};
 use crate::trace::{Dep, TaskEvent};
 use crate::types::{ErasedVal, Key};
+
+#[cfg(feature = "checked")]
+use crate::inspect::Violation;
 
 /// AM message type: inline (archive/trivial) data.
 pub const MSG_DATA_INLINE: u8 = 0;
@@ -91,6 +95,26 @@ impl SlotE {
                 finalized,
                 ..
             } => *finalized || expected.is_some_and(|e| *received >= e),
+        }
+    }
+
+    /// Human-readable state, for stuck-key deadlock reports.
+    fn describe(&self) -> String {
+        match self {
+            SlotE::Empty => "empty (no message received)".into(),
+            SlotE::Plain(_) => "filled".into(),
+            SlotE::Stream {
+                received,
+                expected,
+                finalized,
+                ..
+            } => match expected {
+                Some(e) => format!(
+                    "stream received {received} of {e}{}",
+                    if *finalized { ", finalized" } else { "" }
+                ),
+                None => format!("unbounded stream received {received}, not finalized"),
+            },
         }
     }
 }
@@ -310,6 +334,20 @@ pub trait AnyNode: Send + Sync {
     fn tasks_executed(&self) -> u64;
     /// Pending (incomplete) task IDs across all ranks.
     fn pending(&self) -> usize;
+    /// Number of input terminals.
+    fn num_inputs(&self) -> usize;
+    /// Edge identity of each input terminal (index = terminal).
+    fn input_edges(&self) -> Vec<EdgeDecl>;
+    /// Edge identity of each output terminal (index = terminal).
+    fn output_edges(&self) -> Vec<EdgeDecl>;
+    /// Declared reducer of each input terminal (index = terminal).
+    fn reducer_decls(&self) -> Vec<Option<ReducerDecl>>;
+    /// Evaluate the keymap over the registered sample keys (twice per key,
+    /// to catch nondeterminism). `None` when no samples were registered.
+    fn probe_keymap(&self, n_ranks: usize) -> Option<KeymapProbe>;
+    /// Detailed view of every partially matched key still pending across
+    /// all ranks: the stuck-key deadlock report.
+    fn pending_detail(&self) -> Vec<StuckEntry>;
 }
 
 type InvokeFn<K> = Arc<dyn Fn(K, Vec<ErasedVal>, u64, usize, &Arc<RuntimeCtx>) + Send + Sync>;
@@ -347,6 +385,8 @@ pub struct NodeInner<K: Key> {
     reducers: Vec<RwLock<Option<ReducerSpec>>>,
     invoke: OnceLock<InvokeFn<K>>,
     executed: Arc<AtomicU64>,
+    topo: OnceLock<(Vec<EdgeDecl>, Vec<EdgeDecl>)>,
+    check_samples: RwLock<Vec<K>>,
 }
 
 impl<K: Key> NodeInner<K> {
@@ -366,6 +406,8 @@ impl<K: Key> NodeInner<K> {
             reducers: (0..n_inputs).map(|_| RwLock::new(None)).collect(),
             invoke: OnceLock::new(),
             executed: Arc::new(AtomicU64::new(0)),
+            topo: OnceLock::new(),
+            check_samples: RwLock::new(Vec::new()),
         }
     }
 
@@ -376,28 +418,59 @@ impl<K: Key> NodeInner<K> {
         }
     }
 
-    /// Install a streaming reducer on terminal `t`.
-    pub fn set_reducer(&self, t: usize, spec: ReducerSpec) {
-        debug_assert!(self.frozen.get().is_none(), "set_reducer after attach");
+    /// Record the edge identities of the input and output terminals (done
+    /// once by `make_tt`; consumed by the static verifier).
+    pub fn set_topology(&self, inputs: Vec<EdgeDecl>, outputs: Vec<EdgeDecl>) {
+        if self.topo.set((inputs, outputs)).is_err() {
+            panic!("topology already set for node {}", self.name);
+        }
+    }
+
+    /// Register sample keys for static keymap probing (`ttg-check`
+    /// diagnostics TTG004/TTG005). Cheap to call unconditionally: the keys
+    /// are only evaluated when a verifier runs.
+    pub fn set_check_samples(&self, keys: Vec<K>) {
+        *self.check_samples.write() = keys;
+    }
+
+    fn guard_mutation(&self, what: &'static str) -> Result<(), MutationError> {
+        if self.frozen.get().is_some() {
+            return Err(MutationError {
+                node: self.name,
+                what,
+            });
+        }
+        Ok(())
+    }
+
+    /// Install a streaming reducer on terminal `t`. Fails with `TTG010`
+    /// once the executor has frozen the node maps.
+    pub fn set_reducer(&self, t: usize, spec: ReducerSpec) -> Result<(), MutationError> {
+        self.guard_mutation("set_reducer")?;
         *self.reducers[t].write() = Some(spec);
+        Ok(())
     }
 
-    /// Replace the keymap.
-    pub fn set_keymap(&self, f: KeyMapFn<K>) {
-        debug_assert!(self.frozen.get().is_none(), "set_keymap after attach");
+    /// Replace the keymap. Fails with `TTG010` after executor attach.
+    pub fn set_keymap(&self, f: KeyMapFn<K>) -> Result<(), MutationError> {
+        self.guard_mutation("set_keymap")?;
         *self.keymap.write() = f;
+        Ok(())
     }
 
-    /// Install a priority map.
-    pub fn set_priomap(&self, f: PrioMapFn<K>) {
-        debug_assert!(self.frozen.get().is_none(), "set_priomap after attach");
+    /// Install a priority map. Fails with `TTG010` after executor attach.
+    pub fn set_priomap(&self, f: PrioMapFn<K>) -> Result<(), MutationError> {
+        self.guard_mutation("set_priority_map")?;
         *self.priomap.write() = Some(f);
+        Ok(())
     }
 
-    /// Install a cost model for trace-based projection.
-    pub fn set_costmap(&self, f: CostMapFn<K>) {
-        debug_assert!(self.frozen.get().is_none(), "set_costmap after attach");
+    /// Install a cost model for trace-based projection. Fails with `TTG010`
+    /// after executor attach.
+    pub fn set_costmap(&self, f: CostMapFn<K>) -> Result<(), MutationError> {
+        self.guard_mutation("set_cost_model")?;
         *self.costmap.write() = Some(f);
+        Ok(())
     }
 
     /// Rank owning task `k` (bounded by the fabric size).
@@ -453,24 +526,66 @@ impl<K: Key> NodeInner<K> {
                     }
                     None => *slot = SlotE::Plain(val),
                 },
-                SlotE::Plain(_) => panic!(
-                    "duplicate input on terminal {} of {} for key {:?} (no reducer installed)",
-                    terminal, self.name, k
-                ),
+                SlotE::Plain(_) => {
+                    #[cfg(feature = "checked")]
+                    {
+                        ctx.sanitizer.record(Violation::ExactlyOnce {
+                            node: self.name,
+                            terminal,
+                            key: format!("{k:?}"),
+                        });
+                        return;
+                    }
+                    #[cfg(not(feature = "checked"))]
+                    panic!(
+                        "duplicate input on terminal {} of {} for key {:?} (no reducer installed)",
+                        terminal, self.name, k
+                    );
+                }
                 SlotE::Stream {
                     acc,
                     received,
                     expected,
                     finalized,
                 } => {
-                    assert!(
-                        !*finalized && expected.is_none_or(|e| *received < e),
-                        "stream overrun on terminal {} of {} for key {:?}",
-                        terminal,
-                        self.name,
-                        k
-                    );
-                    let spec = reducer.expect("stream slot without reducer");
+                    if *finalized || expected.is_some_and(|e| *received >= e) {
+                        #[cfg(feature = "checked")]
+                        {
+                            ctx.sanitizer.record(Violation::StreamOverrun {
+                                node: self.name,
+                                terminal,
+                                key: format!("{k:?}"),
+                                received: *received,
+                            });
+                            return;
+                        }
+                        #[cfg(not(feature = "checked"))]
+                        panic!(
+                            "stream overrun on terminal {} of {} for key {:?}",
+                            terminal, self.name, k
+                        );
+                    }
+                    let spec = match reducer {
+                        Some(spec) => spec,
+                        None => {
+                            // The terminal was turned into a stream by a
+                            // `set_stream_size` without a reducer installed.
+                            #[cfg(feature = "checked")]
+                            {
+                                ctx.sanitizer.record(Violation::StreamWithoutReducer {
+                                    node: self.name,
+                                    terminal,
+                                    key: format!("{k:?}"),
+                                });
+                                return;
+                            }
+                            #[cfg(not(feature = "checked"))]
+                            panic!(
+                                "stream slot without reducer on terminal {} of {} for key {:?}",
+                                terminal, self.name, k
+                            );
+                        }
+                    };
                     match acc {
                         Some(a) => {
                             (spec.op)(a, val);
@@ -521,18 +636,38 @@ impl<K: Key> NodeInner<K> {
                 SlotE::Stream {
                     received, expected, ..
                 } => {
-                    assert!(
-                        *received <= n,
-                        "stream size {} below already-received {} on {} {:?}",
-                        n,
-                        received,
-                        self.name,
-                        k
-                    );
+                    if *received > n {
+                        #[cfg(feature = "checked")]
+                        {
+                            ctx.sanitizer.record(Violation::SizeBelowReceived {
+                                node: self.name,
+                                terminal,
+                                key: format!("{k:?}"),
+                                size: n,
+                                received: *received,
+                            });
+                            return;
+                        }
+                        #[cfg(not(feature = "checked"))]
+                        panic!(
+                            "stream size {} below already-received {} on {} {:?}",
+                            n, received, self.name, k
+                        );
+                    }
                     *expected = Some(n);
                 }
                 SlotE::Plain(_) => {
-                    panic!("set_stream_size on non-streaming terminal of {}", self.name)
+                    #[cfg(feature = "checked")]
+                    {
+                        ctx.sanitizer.record(Violation::SetSizeOnPlain {
+                            node: self.name,
+                            terminal,
+                            key: format!("{k:?}"),
+                        });
+                        return;
+                    }
+                    #[cfg(not(feature = "checked"))]
+                    panic!("set_stream_size on non-streaming terminal of {}", self.name);
                 }
             }
             if entry.all_complete() {
@@ -552,14 +687,49 @@ impl<K: Key> NodeInner<K> {
             let mut table = self.table(rank, &k).lock();
             let entry = match table.get_mut(&k) {
                 Some(e) => e,
-                None => panic!(
-                    "finalize on {} for unknown key {:?} (no messages received)",
-                    self.name, k
-                ),
+                None => {
+                    #[cfg(feature = "checked")]
+                    {
+                        ctx.sanitizer.record(Violation::FinalizeUnknownKey {
+                            node: self.name,
+                            terminal,
+                            key: format!("{k:?}"),
+                        });
+                        return;
+                    }
+                    #[cfg(not(feature = "checked"))]
+                    panic!(
+                        "finalize on {} for unknown key {:?} (no messages received)",
+                        self.name, k
+                    );
+                }
             };
             match entry.slots.get_mut(terminal) {
-                SlotE::Stream { finalized, .. } => *finalized = true,
-                _ => panic!("finalize on non-streaming terminal of {}", self.name),
+                SlotE::Stream { finalized, .. } => {
+                    #[cfg(feature = "checked")]
+                    if *finalized {
+                        ctx.sanitizer.record(Violation::DoubleFinalize {
+                            node: self.name,
+                            terminal,
+                            key: format!("{k:?}"),
+                        });
+                        return;
+                    }
+                    *finalized = true;
+                }
+                _ => {
+                    #[cfg(feature = "checked")]
+                    {
+                        ctx.sanitizer.record(Violation::FinalizeNonStream {
+                            node: self.name,
+                            terminal,
+                            key: format!("{k:?}"),
+                        });
+                        return;
+                    }
+                    #[cfg(not(feature = "checked"))]
+                    panic!("finalize on non-streaming terminal of {}", self.name);
+                }
             }
             if entry.all_complete() {
                 Some(table.remove(&k).unwrap())
@@ -573,6 +743,19 @@ impl<K: Key> NodeInner<K> {
     }
 
     fn launch(&self, rank: usize, k: K, entry: PendingE, ctx: &Arc<RuntimeCtx>) {
+        #[cfg(feature = "checked")]
+        if entry
+            .slots
+            .as_slice()
+            .iter()
+            .any(|s| matches!(s, SlotE::Stream { acc: None, .. }))
+        {
+            ctx.sanitizer.record(Violation::EmptyStream {
+                node: self.name,
+                key: format!("{k:?}"),
+            });
+            return;
+        }
         let invoke = Arc::clone(
             self.invoke
                 .get()
@@ -728,6 +911,99 @@ impl<K: Key> AnyNode for NodeInner<K> {
             None => 0,
             Some(ts) => ts.iter().map(ShardedTable::pending).sum(),
         }
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    fn input_edges(&self) -> Vec<EdgeDecl> {
+        self.topo.get().map(|(i, _)| i.clone()).unwrap_or_default()
+    }
+
+    fn output_edges(&self) -> Vec<EdgeDecl> {
+        self.topo.get().map(|(_, o)| o.clone()).unwrap_or_default()
+    }
+
+    fn reducer_decls(&self) -> Vec<Option<ReducerDecl>> {
+        match self.frozen.get() {
+            Some(f) => f
+                .reducers
+                .iter()
+                .map(|r| {
+                    r.as_ref().map(|s| ReducerDecl {
+                        default_size: s.default_size,
+                    })
+                })
+                .collect(),
+            None => self
+                .reducers
+                .iter()
+                .map(|r| {
+                    r.read().as_ref().map(|s| ReducerDecl {
+                        default_size: s.default_size,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn probe_keymap(&self, n_ranks: usize) -> Option<KeymapProbe> {
+        let samples = self.check_samples.read().clone();
+        if samples.is_empty() {
+            return None;
+        }
+        let km = match self.frozen.get() {
+            Some(f) => Arc::clone(&f.keymap),
+            None => Arc::clone(&self.keymap.read()),
+        };
+        let mut probe = KeymapProbe {
+            samples: samples.len(),
+            ..KeymapProbe::default()
+        };
+        for k in &samples {
+            let r1 = km(k);
+            let r2 = km(k);
+            if r1 != r2 {
+                probe.nondeterministic.push(format!("{k:?}"));
+            }
+            if r1 >= n_ranks {
+                probe.out_of_range.push((format!("{k:?}"), r1));
+            }
+        }
+        Some(probe)
+    }
+
+    fn pending_detail(&self) -> Vec<StuckEntry> {
+        let Some(tables) = self.tables.get() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (rank, table) in tables.iter().enumerate() {
+            for shard in &table.shards {
+                let shard = shard.lock();
+                for (k, e) in shard.iter() {
+                    let mut missing = Vec::new();
+                    let mut filled = Vec::new();
+                    for (t, s) in e.slots.as_slice().iter().enumerate() {
+                        if s.is_complete() {
+                            filled.push(t);
+                        } else {
+                            missing.push((t, s.describe()));
+                        }
+                    }
+                    out.push(StuckEntry {
+                        node_id: self.id,
+                        node: self.name,
+                        rank,
+                        key: format!("{k:?}"),
+                        missing,
+                        filled,
+                    });
+                }
+            }
+        }
+        out
     }
 }
 

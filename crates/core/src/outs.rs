@@ -107,6 +107,16 @@ impl<K: Key, V: Data> InRef<K, V> {
         }
     }
 
+    /// Id of the template task this terminal belongs to.
+    pub fn node_id(&self) -> u32 {
+        self.node.id
+    }
+
+    /// Input terminal index within the template task.
+    pub fn terminal(&self) -> usize {
+        self.terminal as usize
+    }
+
     /// Inject a seed message from outside the graph (no provenance).
     pub fn seed(&self, ctx: &Arc<RuntimeCtx>, k: K, v: V) {
         crate::edge::port_seed(&self.node, self.terminal, k, v, ctx);

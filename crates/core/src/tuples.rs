@@ -42,6 +42,8 @@ pub trait EdgeList<K: Key>: 'static {
     const N: usize;
     /// Per-terminal vtables.
     fn metas(&self) -> Vec<InputMeta>;
+    /// Edge identity of each input terminal (for the static verifier).
+    fn decls(&self) -> Vec<crate::inspect::EdgeDecl>;
     /// Register one consumer port per edge on `node`.
     fn connect(&self, node: &Arc<NodeInner<K>>);
     /// Downcast the erased input values into the typed tuple, counting
@@ -57,6 +59,10 @@ macro_rules! impl_edge_list {
 
             fn metas(&self) -> Vec<InputMeta> {
                 vec![$(meta_for::<$V>()),+]
+            }
+
+            fn decls(&self) -> Vec<crate::inspect::EdgeDecl> {
+                vec![$(self.$idx.decl()),+]
             }
 
             fn connect(&self, node: &Arc<NodeInner<K>>) {
@@ -100,11 +106,16 @@ pub trait OutEdgeList: 'static {
     type Terms: Send + Sync + 'static;
     /// Wrap the edges into producer-side terminals.
     fn terms(&self) -> Self::Terms;
+    /// Edge identity of each output terminal (for the static verifier).
+    fn decls(&self) -> Vec<crate::inspect::EdgeDecl>;
 }
 
 impl OutEdgeList for () {
     type Terms = ();
     fn terms(&self) -> Self::Terms {}
+    fn decls(&self) -> Vec<crate::inspect::EdgeDecl> {
+        Vec::new()
+    }
 }
 
 macro_rules! impl_out_edge_list {
@@ -113,6 +124,9 @@ macro_rules! impl_out_edge_list {
             type Terms = ($(OutTerm<$K, $W>,)+);
             fn terms(&self) -> Self::Terms {
                 ($(OutTerm::new(self.$idx.clone()),)+)
+            }
+            fn decls(&self) -> Vec<crate::inspect::EdgeDecl> {
+                vec![$(self.$idx.decl()),+]
             }
         }
     };

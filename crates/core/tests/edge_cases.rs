@@ -53,6 +53,10 @@ fn partial_inputs_never_fire() {
     assert_eq!(report.tasks, 0);
 }
 
+// Under the `checked` feature this same misuse is a structured
+// `ExecReport::violations` record instead of a panic — covered by
+// crates/check/tests/sanitizer.rs.
+#[cfg(not(feature = "checked"))]
 #[test]
 #[should_panic(expected = "duplicate input")]
 fn duplicate_input_without_reducer_panics() {
@@ -107,7 +111,7 @@ fn keymap_can_be_replaced_before_seeding() {
             r2.store(outs.rank() as u64, Ordering::SeqCst);
         },
     );
-    tt.set_keymap(|_| 2usize);
+    tt.set_keymap(|_| 2usize).expect("pre-attach");
     let exec = Executor::new(g.build(), ExecConfig::distributed(4, 1, backend()));
     tt.in_ref::<0>().seed(exec.ctx(), 0, 1);
     exec.finish();
@@ -150,7 +154,8 @@ fn stream_size_one_fires_per_message() {
             c2.fetch_add(1, Ordering::SeqCst);
         },
     );
-    tt.set_input_reducer::<0>(|a, b| *a += b, Some(1));
+    tt.set_input_reducer::<0>(|a, b| *a += b, Some(1))
+        .expect("pre-attach");
     let exec = Executor::new(g.build(), ExecConfig::local(2));
     for i in 0..5 {
         // Distinct keys: each stream of size 1 completes immediately.

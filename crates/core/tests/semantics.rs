@@ -299,7 +299,8 @@ fn streaming_terminal_with_static_size() {
         |k: &u32| (*k % 2) as usize,
         move |k, (sum,): (f64,), _| res2.lock().unwrap().push((*k, sum)),
     );
-    acc.set_input_reducer::<0>(|a, b| *a += b, Some(8));
+    acc.set_input_reducer::<0>(|a, b| *a += b, Some(8))
+        .expect("pre-attach");
 
     let exec = Executor::new(g.build(), ExecConfig::distributed(2, 2, parsec_like()));
     for k in 0..3u32 {
@@ -330,7 +331,8 @@ fn streaming_terminal_with_dynamic_size() {
         |k: &u32| (*k % 2) as usize,
         move |k, (sum,): (u64,), _| res2.lock().unwrap().push((*k, sum)),
     );
-    acc.set_input_reducer::<0>(|a, b| *a += b, None);
+    acc.set_input_reducer::<0>(|a, b| *a += b, None)
+        .expect("pre-attach");
 
     let acc_in = acc.in_ref::<0>();
     let driver = g.make_tt(
@@ -372,7 +374,8 @@ fn finalize_closes_unbounded_stream() {
         |_k: &u32| 1usize, // force cross-rank finalize
         move |k, (sum,): (u64,), _| res2.lock().unwrap().push((*k, sum)),
     );
-    acc.set_input_reducer::<0>(|a, b| *a += b, None);
+    acc.set_input_reducer::<0>(|a, b| *a += b, None)
+        .expect("pre-attach");
 
     let acc_in = acc.in_ref::<0>();
     let driver = g.make_tt(

@@ -17,4 +17,4 @@ pub mod safra;
 
 pub use pool::{Job, SchedulerKind, WorkerPool};
 pub use quiesce::Quiescence;
-pub use safra::{Color, SafraRank, SafraRing, Token};
+pub use safra::{Color, SafraRank, SafraRing, SafraStall, Token};

@@ -174,8 +174,23 @@ impl SafraRing {
     /// telling whether each rank is currently passive. Intended for tests
     /// and single-threaded replay; returns the number of token hops used.
     pub fn drive_to_termination(&self, passive: impl Fn(usize) -> bool) -> usize {
+        match self.drive_bounded(passive, 1_000_000) {
+            Ok(hops) => hops,
+            Err(stall) => panic!("Safra ring failed to terminate — algorithm bug: {stall}"),
+        }
+    }
+
+    /// Like [`drive_to_termination`](Self::drive_to_termination), but give
+    /// up after `max_rounds` sweeps of the ring and return a structured
+    /// [`SafraStall`] report instead of hanging — the termination-detection
+    /// analog of the matching-table stuck-key report.
+    pub fn drive_bounded(
+        &self,
+        passive: impl Fn(usize) -> bool,
+        max_rounds: usize,
+    ) -> Result<usize, SafraStall> {
         let mut hops = 0;
-        let mut guard = 0;
+        let mut rounds = 0;
         while !self.ranks[0].terminated() {
             for r in 0..self.ranks.len() {
                 if let Some((next, token)) = self.ranks[r].try_forward(passive(r)) {
@@ -183,13 +198,77 @@ impl SafraRing {
                     hops += 1;
                 }
             }
-            guard += 1;
-            assert!(
-                guard < 1_000_000,
-                "Safra ring failed to terminate — algorithm bug"
-            );
+            rounds += 1;
+            if rounds >= max_rounds {
+                return Err(self.stall_report(&passive, rounds, hops));
+            }
         }
-        hops
+        Ok(hops)
+    }
+
+    fn stall_report(
+        &self,
+        passive: &impl Fn(usize) -> bool,
+        rounds: usize,
+        hops: usize,
+    ) -> SafraStall {
+        let active_ranks = (0..self.ranks.len()).filter(|&r| !passive(r)).collect();
+        let balances = self
+            .ranks
+            .iter()
+            .map(|s| s.balance.load(Ordering::SeqCst))
+            .collect();
+        let token_at = self
+            .ranks
+            .iter()
+            .position(|s| s.held.lock().is_some())
+            .or_else(|| (!self.ranks[0].probing.load(Ordering::SeqCst)).then_some(0));
+        SafraStall {
+            rounds,
+            hops,
+            active_ranks,
+            balances,
+            token_at,
+        }
+    }
+}
+
+/// Why a bounded Safra drive gave up: the ring swept `rounds` times without
+/// rank 0 announcing termination. The fields identify the blocker — ranks
+/// still active, non-zero message balances (in-flight messages), and where
+/// the token is parked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafraStall {
+    /// Ring sweeps performed before giving up.
+    pub rounds: usize,
+    /// Token hops delivered before giving up.
+    pub hops: usize,
+    /// Ranks that still reported active at the end.
+    pub active_ranks: Vec<usize>,
+    /// Per-rank send-minus-receive balance; a positive sum means messages
+    /// are still in flight.
+    pub balances: Vec<i64>,
+    /// Rank holding the token, if it is parked somewhere (`None` when it is
+    /// conceptually in flight or consumed).
+    pub token_at: Option<usize>,
+}
+
+impl std::fmt::Display for SafraStall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no termination after {} rounds ({} hops): active ranks {:?}, \
+             message balance {} ({:?})",
+            self.rounds,
+            self.hops,
+            self.active_ranks,
+            self.balances.iter().sum::<i64>(),
+            self.balances,
+        )?;
+        match self.token_at {
+            Some(r) => write!(f, ", token parked at rank {r}"),
+            None => write!(f, ", token in flight"),
+        }
     }
 }
 
@@ -256,6 +335,39 @@ mod tests {
         }
         assert!(forwarded_to_1);
         assert!(!ring.rank(0).terminated());
+    }
+
+    #[test]
+    fn bounded_drive_reports_stall_on_active_rank() {
+        let ring = SafraRing::new(4);
+        // Rank 2 never goes passive: termination is impossible.
+        let stall = ring
+            .drive_bounded(|r| r != 2, 100)
+            .expect_err("must not terminate while rank 2 is active");
+        assert_eq!(stall.rounds, 100);
+        assert_eq!(stall.active_ranks, vec![2]);
+        assert_eq!(stall.balances, vec![0, 0, 0, 0]);
+        // The token parks at the active rank (it accepted but never forwards).
+        assert_eq!(stall.token_at, Some(2));
+        let msg = stall.to_string();
+        assert!(msg.contains("active ranks [2]"), "message was: {msg}");
+    }
+
+    #[test]
+    fn bounded_drive_reports_stall_on_lost_message() {
+        let ring = SafraRing::new(3);
+        // A message sent but never received: balance never sums to zero.
+        ring.rank(1).on_send();
+        let stall = ring
+            .drive_bounded(|_| true, 50)
+            .expect_err("must not terminate with a message in flight");
+        assert!(stall.active_ranks.is_empty());
+        assert_eq!(stall.balances.iter().sum::<i64>(), 1);
+        // Delivering the message unblocks a later bounded drive.
+        ring.rank(2).on_receive();
+        let hops = ring.drive_bounded(|_| true, 1000).expect("terminates");
+        assert!(hops > 0);
+        assert!(ring.rank(0).terminated());
     }
 
     #[test]

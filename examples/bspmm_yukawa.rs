@@ -9,6 +9,8 @@ use ttg::apps::bspmm::{plan, ttg as bspmm};
 use ttg::sparse::{generate, YukawaParams};
 
 fn main() {
+    // `--check` verifies the graph before each run (see ttg::check).
+    ttg::check::enable_from_args();
     let mut params = YukawaParams::small();
     params.atoms = 120;
     let y = generate(&params);

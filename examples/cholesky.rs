@@ -9,6 +9,8 @@ use ttg::linalg::TiledMatrix;
 use ttg::simnet::{des::from_core_trace, simulate, MachineModel};
 
 fn main() {
+    // `--check` verifies the graph before each run (see ttg::check).
+    ttg::check::enable_from_args();
     let nt = 8;
     let nb = 32;
     let a = TiledMatrix::random_spd(nt, nb, 42);

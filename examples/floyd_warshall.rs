@@ -9,6 +9,8 @@ use ttg::apps::floyd_warshall as fw;
 use ttg::simnet::{des::from_core_trace, simulate, MachineModel};
 
 fn main() {
+    // `--check` verifies the graph before each run (see ttg::check).
+    ttg::check::enable_from_args();
     let (nt, nb) = (8, 16);
     let g = fw::random_graph(nt, nb, 0.25, 7);
     println!(

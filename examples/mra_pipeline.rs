@@ -9,6 +9,8 @@
 use ttg::apps::mra::{native, reference, ttg as mra, Workload};
 
 fn main() {
+    // `--check` verifies the graph before each run (see ttg::check).
+    ttg::check::enable_from_args();
     let w = Workload::gaussians(6, 6, 800.0, 1e-5, 11);
     println!(
         "{} Gaussian functions, order-{} multiwavelets, tol {:.0e}",

@@ -24,7 +24,7 @@ fn main() {
         "generate",
         (start,),
         (values.clone(),),
-        |k: &u32| *k as usize, // keymap: task k runs on rank k % nranks
+        |k: &u32| *k as usize % 4, // keymap: task k runs on rank k % 4
         |k, (_ctl,): (Ctl,), outs| {
             for i in 0..8 {
                 outs.send::<0>(*k % 4, (*k * 10 + i) as f64);
@@ -38,10 +38,12 @@ fn main() {
         "reduce",
         (values,),
         (sums.clone(),),
-        |k: &u32| (*k + 1) as usize,
+        |k: &u32| (*k + 1) as usize % 4,
         |k, (total,): (f64,), outs| outs.send::<0>(*k, total),
     );
-    reduce.set_input_reducer::<0>(|acc, v| *acc += v, Some(16)); // 2 generators/key
+    reduce
+        .set_input_reducer::<0>(|acc, v| *acc += v, Some(16))
+        .expect("pre-attach"); // 2 generators/key
 
     let results = Arc::new(Mutex::new(Vec::new()));
     let results2 = Arc::clone(&results);
@@ -53,11 +55,17 @@ fn main() {
         move |k, (total,): (f64,), _| results2.lock().unwrap().push((*k, total)),
     );
 
+    // With `--check`, statically verify the graph before running: terminal
+    // topology, reducer configuration, sampled keymap probing, and
+    // seed-reachability, reported rustc-style and exported to
+    // results/check_report.json (see ttg::check).
+    generate.set_check_samples((0..8).collect());
+    ttg::check::enable_from_args();
+    let graph = g.build();
+    ttg::check::check_if_enabled(&graph, 4, &[(generate.node_id(), 0)]);
+
     // Run on 4 ranks × 2 workers over the simulated fabric.
-    let exec = Executor::new(
-        g.build(),
-        ExecConfig::distributed(4, 2, ttg::parsec::backend()),
-    );
+    let exec = Executor::new(graph, ExecConfig::distributed(4, 2, ttg::parsec::backend()));
     for k in 0..8u32 {
         generate.in_ref::<0>().seed(exec.ctx(), k, Ctl);
     }

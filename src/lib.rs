@@ -7,6 +7,7 @@
 
 pub use ttg_apps as apps;
 pub use ttg_bsp as bsp;
+pub use ttg_check as check;
 pub use ttg_comm as comm;
 pub use ttg_core as core;
 pub use ttg_linalg as linalg;
