@@ -65,10 +65,12 @@ pub fn run(a: &BlockSparse, b: &BlockSparse, cfg: &Config) -> (BlockSparse, Exec
 
     let read_a_ctl: Edge<K2, Ctl> = Edge::new("read_a");
     let read_b_ctl: Edge<K2, Ctl> = Edge::new("read_b");
-    let bcast_a: Edge<K3, Tile> = Edge::new("bcast_a"); // (i, k, pc)
-    let bcast_b: Edge<K3, Tile> = Edge::new("bcast_b"); // (k, j, pr)
-    let ma_a: Edge<K3, Tile> = Edge::new("ma_a"); // (i, j, k)
-    let ma_b: Edge<K3, Tile> = Edge::new("ma_b");
+    // The whole broadcast chain carries `Arc<Tile>`: one erase at the read,
+    // refcount bumps through both fan-out stages, zero tile deep copies.
+    let bcast_a: Edge<K3, Arc<Tile>> = Edge::new("bcast_a"); // (i, k, pc)
+    let bcast_b: Edge<K3, Arc<Tile>> = Edge::new("bcast_b"); // (k, j, pr)
+    let ma_a: Edge<K3, Arc<Tile>> = Edge::new("ma_a"); // (i, j, k)
+    let ma_b: Edge<K3, Arc<Tile>> = Edge::new("ma_b");
     let acc_in: Edge<K2, Tile> = Edge::new("acc_in");
     let coord_in: Edge<u32, Ctl> = Edge::new("coord"); // key = rank
     let mut g = GraphBuilder::new();
@@ -89,7 +91,7 @@ pub fn run(a: &BlockSparse, b: &BlockSparse, cfg: &Config) -> (BlockSparse, Exec
             pcs.sort_unstable();
             pcs.dedup();
             let keys: Vec<K3> = pcs.into_iter().map(|pc| (i, k, pc)).collect();
-            outs.broadcast::<0>(&keys, tile);
+            outs.broadcast::<0>(&keys, Arc::new(tile));
         },
     );
 
@@ -107,7 +109,7 @@ pub fn run(a: &BlockSparse, b: &BlockSparse, cfg: &Config) -> (BlockSparse, Exec
             prs.sort_unstable();
             prs.dedup();
             let keys: Vec<K3> = prs.into_iter().map(|pr| (k, j, pr)).collect();
-            outs.broadcast::<0>(&keys, tile);
+            outs.broadcast::<0>(&keys, Arc::new(tile));
         },
     );
 
@@ -119,7 +121,7 @@ pub fn run(a: &BlockSparse, b: &BlockSparse, cfg: &Config) -> (BlockSparse, Exec
         (bcast_a,),
         (ma_a.clone(),),
         move |k: &K3| ((k.0 % p_rows) * q_cols + k.2) as usize,
-        move |key, (tile,): (Tile,), outs| {
+        move |key, (tile,): (Arc<Tile>,), outs| {
             let (i, k, pc) = *key;
             let keys: Vec<K3> = mp2.b_cols[k as usize]
                 .iter()
@@ -136,7 +138,7 @@ pub fn run(a: &BlockSparse, b: &BlockSparse, cfg: &Config) -> (BlockSparse, Exec
         (bcast_b,),
         (ma_b.clone(),),
         move |k: &K3| (k.2 * q_cols + (k.1 % q_cols)) as usize,
-        move |key, (tile,): (Tile,), outs| {
+        move |key, (tile,): (Arc<Tile>,), outs| {
             let (k, j, pr) = *key;
             let keys: Vec<K3> = mp2.a_rows[k as usize]
                 .iter()
@@ -154,7 +156,7 @@ pub fn run(a: &BlockSparse, b: &BlockSparse, cfg: &Config) -> (BlockSparse, Exec
         (ma_a, ma_b),
         (acc_in.clone(), coord_in.clone()),
         move |k: &K3| grid_owner(k.0, k.1),
-        move |key, (a_ik, b_kj): (Tile, Tile), outs| {
+        move |key, (a_ik, b_kj): (Arc<Tile>, Arc<Tile>), outs| {
             let (i, j, _k) = *key;
             let mut c = Tile::zeros(a_ik.rows(), b_kj.cols());
             gemm_nn(1.0, &a_ik, &b_kj, &mut c);

@@ -57,16 +57,20 @@ pub fn run(a: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
     let output = Arc::new(Mutex::new(TiledMatrix::zeros(a.nt(), nb)));
 
     // Edges (names follow Listing 1).
+    // Accumulator chains (to_potrf/trsm_a/syrk_a/gemm_a) carry owned tiles:
+    // each consumer mutates its tile in place, so the value plane moves
+    // them. Broadcast edges carry `Arc<Tile>` so fan-out is a refcount bump
+    // per consumer instead of a tile deep copy.
     let init_ctl: Edge<K2, Ctl> = Edge::new("init_ctl");
     let to_potrf: Edge<K1, Tile> = Edge::new("syrk_potrf");
-    let potrf_trsm: Edge<K2, Tile> = Edge::new("potrf_trsm");
+    let potrf_trsm: Edge<K2, Arc<Tile>> = Edge::new("potrf_trsm");
     let trsm_a: Edge<K2, Tile> = Edge::new("gemm_trsm");
     let syrk_a: Edge<K2, Tile> = Edge::new("syrk_syrk");
-    let syrk_l: Edge<K2, Tile> = Edge::new("trsm_syrk");
+    let syrk_l: Edge<K2, Arc<Tile>> = Edge::new("trsm_syrk");
     let gemm_a: Edge<K3, Tile> = Edge::new("gemm_gemm");
-    let gemm_li: Edge<K3, Tile> = Edge::new("trsm_gemm_row");
-    let gemm_lj: Edge<K3, Tile> = Edge::new("trsm_gemm_col");
-    let result: Edge<K2, Tile> = Edge::new("result");
+    let gemm_li: Edge<K3, Arc<Tile>> = Edge::new("trsm_gemm_row");
+    let gemm_lj: Edge<K3, Arc<Tile>> = Edge::new("trsm_gemm_col");
+    let result: Edge<K2, Arc<Tile>> = Edge::new("result");
 
     let mut g = GraphBuilder::new();
 
@@ -111,8 +115,9 @@ pub fn run(a: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
         move |k, (mut tile,): (Tile,), outs| {
             potrf_l(&mut tile).unwrap_or_else(|p| panic!("not SPD at tile {k}, pivot {p}"));
             let keys: Vec<K2> = ((k + 1)..nt).map(|m| (m, *k)).collect();
-            outs.send::<1>((*k, *k), tile.clone());
-            outs.broadcast::<0>(&keys, tile);
+            let l_kk = Arc::new(tile);
+            outs.send::<1>((*k, *k), Arc::clone(&l_kk));
+            outs.broadcast::<0>(&keys, l_kk);
         },
     );
 
@@ -129,17 +134,18 @@ pub fn run(a: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
             gemm_lj.clone(),
         ),
         move |k: &K2| d2.owner(k.0 as usize, k.1 as usize),
-        move |key, (l_kk, mut a_mk): (Tile, Tile), outs| {
+        move |key, (l_kk, mut a_mk): (Arc<Tile>, Tile), outs| {
             let (m, k) = *key;
             trsm_rlt(&l_kk, &mut a_mk);
             // L_mk is the `L_jk` input of GEMM(i, m, k) for i > m…
             let col_ids: Vec<K3> = ((m + 1)..nt).map(|i| (i, m, k)).collect();
             // …and the `L_ik` input of GEMM(m, j, k) for k < j < m.
             let row_ids: Vec<K3> = ((k + 1)..m).map(|j| (m, j, k)).collect();
-            outs.send::<0>((m, k), a_mk.clone());
-            outs.send::<1>((k, m), a_mk.clone());
-            outs.broadcast::<2>(&row_ids, a_mk.clone());
-            outs.broadcast::<3>(&col_ids, a_mk);
+            let l_mk = Arc::new(a_mk);
+            outs.send::<0>((m, k), Arc::clone(&l_mk));
+            outs.send::<1>((k, m), Arc::clone(&l_mk));
+            outs.broadcast::<2>(&row_ids, Arc::clone(&l_mk));
+            outs.broadcast::<3>(&col_ids, l_mk);
         },
     );
 
@@ -150,7 +156,7 @@ pub fn run(a: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
         (syrk_a.clone(), syrk_l),
         (to_potrf, syrk_a.clone()),
         move |k: &K2| d2.owner(k.1 as usize, k.1 as usize),
-        move |key, (mut a_mm, l_mk): (Tile, Tile), outs| {
+        move |key, (mut a_mm, l_mk): (Tile, Arc<Tile>), outs| {
             let (k, m) = *key;
             syrk_ln(&l_mk, &mut a_mm);
             if k + 1 == m {
@@ -168,7 +174,7 @@ pub fn run(a: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
         (gemm_a.clone(), gemm_li, gemm_lj),
         (trsm_a, gemm_a),
         move |k: &K3| d2.owner(k.0 as usize, k.1 as usize),
-        move |key, (mut a_ij, l_ik, l_jk): (Tile, Tile, Tile), outs| {
+        move |key, (mut a_ij, l_ik, l_jk): (Tile, Arc<Tile>, Arc<Tile>), outs| {
             let (i, j, k) = *key;
             gemm_nt(-1.0, &l_ik, &l_jk, &mut a_ij);
             if k + 1 == j {
@@ -187,8 +193,9 @@ pub fn run(a: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
         (result,),
         (),
         move |k: &K2| d2.owner(k.0 as usize, k.1 as usize),
-        move |k, (tile,): (Tile,), _| {
-            *out2.lock().unwrap().tile_mut(k.0 as usize, k.1 as usize) = tile;
+        move |k, (tile,): (Arc<Tile>,), _| {
+            *out2.lock().unwrap().tile_mut(k.0 as usize, k.1 as usize) =
+                Arc::try_unwrap(tile).unwrap_or_else(|t| (*t).clone());
         },
     );
 

@@ -1,0 +1,362 @@
+//! Local fan-out microbenchmark: one producer broadcasts a payload to
+//! `W` rank-local consumers, for `W` in {1, 4, 16, 64}.
+//!
+//! This isolates the data lifecycle of the value plane (paper §IV: PaRSEC
+//! tracks reference-counted data copies, MADNESS shares const references):
+//! how many deep copies does a width-`W` broadcast cost, and at what
+//! delivery throughput? Three modes run the same logical workload:
+//!
+//! * `plain`  — `Vec<f64>` values: consumers take owned values, so a
+//!   consumer that takes while the value is still shared pays a
+//!   copy-on-write clone.
+//! * `arc`    — `Arc<Vec<f64>>` values through the zero-copy value plane:
+//!   consumers share the allocation and clones are refcount bumps.
+//! * `remote` — consumers live on a second rank: one serialize-once
+//!   encode per round feeds all piggybacked keys, with pooled wire
+//!   buffers recycled by the receiving comm thread.
+//!
+//! Emits `results/bench_fanout.json` with a throughput row per
+//! (mode, width) plus the copy-plane telemetry (`values_shared`,
+//! `deep_copies_avoided`, `cow_clones`, `cloned_bytes`, `data_copies`) and
+//! the wire-buffer pool hit rate. Run with `--smoke` for CI-sized counts,
+//! `--baseline` to skip the width-16 `deep_copies_avoided` gate (for
+//! measuring pre-COW builds), `--out <path>` to redirect the JSON.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{Criterion, Summary, Throughput};
+use ttg_core::prelude::*;
+use ttg_telemetry::MetricKey;
+
+/// Payload length in `f64`s (32 KiB): big enough that a deep copy dominates
+/// the per-delivery bookkeeping.
+const PAYLOAD_ELEMS: usize = 4096;
+
+/// Fan-out widths swept (satellite spec: 1/4/16/64).
+const WIDTHS: [usize; 4] = [1, 4, 16, 64];
+
+struct Config {
+    smoke: bool,
+    baseline: bool,
+    out: String,
+    /// Broadcast rounds per measured iteration.
+    rounds: usize,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let mut smoke = false;
+        let mut baseline = false;
+        let mut out = String::from("results/bench_fanout.json");
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--smoke" => smoke = true,
+                "--baseline" => baseline = true,
+                "--out" => out = args.next().expect("--out needs a path"),
+                other => {
+                    eprintln!("unknown flag {other}; known: --smoke, --baseline, --out <path>");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Config {
+            smoke,
+            baseline,
+            out,
+            rounds: if smoke { 8 } else { 128 },
+        }
+    }
+
+    fn criterion(&self) -> Criterion {
+        if self.smoke {
+            Criterion::default()
+                .sample_size(2)
+                .warm_up_time(Duration::from_millis(5))
+                .measurement_time(Duration::from_millis(40))
+        } else {
+            Criterion::default()
+                .sample_size(10)
+                .warm_up_time(Duration::from_millis(200))
+                .measurement_time(Duration::from_millis(1200))
+        }
+    }
+}
+
+/// Copy-plane counters of one run, summed over ranks.
+#[derive(Default)]
+struct CopyTelemetry {
+    values_shared: u64,
+    deep_copies_avoided: u64,
+    cow_clones: u64,
+    cloned_bytes: u64,
+    data_copies: u64,
+    serializations: u64,
+}
+
+impl CopyTelemetry {
+    fn from_report(report: &ExecReport, ranks: usize) -> CopyTelemetry {
+        let core = |name: &'static str| -> u64 {
+            (0..ranks)
+                .map(|r| {
+                    report
+                        .telemetry
+                        .counter(&MetricKey::ranked(r, "core", name))
+                })
+                .sum()
+        };
+        CopyTelemetry {
+            values_shared: core("values_shared"),
+            deep_copies_avoided: core("deep_copies_avoided"),
+            cow_clones: core("cow_clones"),
+            cloned_bytes: core("cloned_bytes"),
+            data_copies: report.comm.data_copies,
+            serializations: report.comm.serializations,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"values_shared\":{},\"deep_copies_avoided\":{},\"cow_clones\":{},\
+             \"cloned_bytes\":{},\"data_copies\":{},\"serializations\":{}}}",
+            self.values_shared,
+            self.deep_copies_avoided,
+            self.cow_clones,
+            self.cloned_bytes,
+            self.data_copies,
+            self.serializations
+        )
+    }
+}
+
+/// One width-`w` fan-out execution: seeds `rounds` payloads, each broadcast
+/// to `w` distinct consumer keys on the same (single) rank. Returns the
+/// execution report; the consumer sum guards against dead-code elimination
+/// and double-delivery alike.
+fn run_fanout_plain(width: usize, rounds: usize) -> ExecReport {
+    let start: Edge<u32, Vec<f64>> = Edge::new("start");
+    let fan: Edge<u32, Vec<f64>> = Edge::new("fan");
+    let mut g = GraphBuilder::new();
+    let w32 = width as u32;
+    let src = g.make_tt(
+        "src",
+        (start,),
+        (fan.clone(),),
+        |_| 0usize,
+        move |r, (v,): (Vec<f64>,), outs| {
+            let keys: Vec<u32> = (0..w32).map(|i| r * w32 + i).collect();
+            outs.broadcast::<0>(&keys, v);
+        },
+    );
+    let seen = Arc::new(AtomicU64::new(0));
+    let s2 = Arc::clone(&seen);
+    let _dst = g.make_tt(
+        "dst",
+        (fan,),
+        (),
+        |_| 0usize,
+        move |_, (v,): (Vec<f64>,), _| {
+            s2.fetch_add(v[0] as u64, Ordering::Relaxed);
+        },
+    );
+    let exec = Executor::new(
+        g.build(),
+        ExecConfig::distributed(1, 2, BackendSpec::default_spec()),
+    );
+    let payload: Vec<f64> = vec![1.0; PAYLOAD_ELEMS];
+    for r in 0..rounds as u32 {
+        src.in_ref::<0>().seed(exec.ctx(), r, payload.clone());
+    }
+    let report = exec.finish();
+    assert_eq!(
+        seen.load(Ordering::Relaxed),
+        (rounds * width) as u64,
+        "each consumer must fire exactly once"
+    );
+    report
+}
+
+/// The same workload with `Arc<Vec<f64>>` payloads: the broadcast erases
+/// one shared allocation and every consumer's take is a refcount bump.
+fn run_fanout_arc(width: usize, rounds: usize) -> ExecReport {
+    let start: Edge<u32, Arc<Vec<f64>>> = Edge::new("start");
+    let fan: Edge<u32, Arc<Vec<f64>>> = Edge::new("fan");
+    let mut g = GraphBuilder::new();
+    let w32 = width as u32;
+    let src = g.make_tt(
+        "src",
+        (start,),
+        (fan.clone(),),
+        |_| 0usize,
+        move |r, (v,): (Arc<Vec<f64>>,), outs| {
+            let keys: Vec<u32> = (0..w32).map(|i| r * w32 + i).collect();
+            outs.broadcast::<0>(&keys, v);
+        },
+    );
+    let seen = Arc::new(AtomicU64::new(0));
+    let s2 = Arc::clone(&seen);
+    let _dst = g.make_tt(
+        "dst",
+        (fan,),
+        (),
+        |_| 0usize,
+        move |_, (v,): (Arc<Vec<f64>>,), _| {
+            s2.fetch_add(v[0] as u64, Ordering::Relaxed);
+        },
+    );
+    let exec = Executor::new(
+        g.build(),
+        ExecConfig::distributed(1, 2, BackendSpec::default_spec()),
+    );
+    let payload: Arc<Vec<f64>> = Arc::new(vec![1.0; PAYLOAD_ELEMS]);
+    for r in 0..rounds as u32 {
+        src.in_ref::<0>().seed(exec.ctx(), r, Arc::clone(&payload));
+    }
+    let report = exec.finish();
+    assert_eq!(
+        seen.load(Ordering::Relaxed),
+        (rounds * width) as u64,
+        "each consumer must fire exactly once"
+    );
+    report
+}
+
+/// Cross-rank variant: the producer on rank 0 broadcasts to `w` consumer
+/// keys owned by rank 1. Exercises the serialize-once broadcast cache (one
+/// encode per round regardless of `w`) and the pooled wire buffers (the
+/// comm thread recycles each AM payload back into the pool).
+fn run_fanout_remote(width: usize, rounds: usize) -> ExecReport {
+    let start: Edge<u32, Vec<f64>> = Edge::new("start");
+    let fan: Edge<u32, Vec<f64>> = Edge::new("fan");
+    let mut g = GraphBuilder::new();
+    let w32 = width as u32;
+    let src = g.make_tt(
+        "src",
+        (start,),
+        (fan.clone(),),
+        |_| 0usize,
+        move |r, (v,): (Vec<f64>,), outs| {
+            let keys: Vec<u32> = (0..w32).map(|i| r * w32 + i).collect();
+            outs.broadcast::<0>(&keys, v);
+        },
+    );
+    let seen = Arc::new(AtomicU64::new(0));
+    let s2 = Arc::clone(&seen);
+    let _dst = g.make_tt(
+        "dst",
+        (fan,),
+        (),
+        |_| 1usize,
+        move |_, (v,): (Vec<f64>,), _| {
+            s2.fetch_add(v[0] as u64, Ordering::Relaxed);
+        },
+    );
+    let exec = Executor::new(
+        g.build(),
+        ExecConfig::distributed(2, 2, BackendSpec::default_spec()),
+    );
+    let payload: Vec<f64> = vec![1.0; PAYLOAD_ELEMS];
+    for r in 0..rounds as u32 {
+        src.in_ref::<0>().seed(exec.ctx(), r, payload.clone());
+    }
+    let report = exec.finish();
+    assert_eq!(
+        seen.load(Ordering::Relaxed),
+        (rounds * width) as u64,
+        "each consumer must fire exactly once"
+    );
+    report
+}
+
+fn bench_width(
+    c: &mut Criterion,
+    mode: &str,
+    width: usize,
+    rounds: usize,
+) -> (Summary, CopyTelemetry) {
+    let run: fn(usize, usize) -> ExecReport = match mode {
+        "plain" => run_fanout_plain,
+        "arc" => run_fanout_arc,
+        "remote" => run_fanout_remote,
+        other => unreachable!("unknown mode {other}"),
+    };
+    let ranks = if mode == "remote" { 2 } else { 1 };
+    let summary = c.bench_summary(
+        format!("fanout/{mode}/w{width}"),
+        Some(Throughput::Elements((rounds * width) as u64)),
+        |b| b.iter(|| run(width, rounds).tasks),
+    );
+    let telemetry = CopyTelemetry::from_report(&run(width, rounds), ranks);
+    (summary, telemetry)
+}
+
+fn json_row(s: &Summary, t: &CopyTelemetry) -> String {
+    let rate = s.rate_per_sec().unwrap_or(0.0);
+    format!(
+        "{{\"name\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\
+         \"samples\":{},\"iters\":{},\"rate\":{:.1},\"rate_unit\":\"deliveries_per_s\",\
+         \"telemetry\":{}}}",
+        s.label,
+        s.mean_ns,
+        s.min_ns,
+        s.max_ns,
+        s.samples,
+        s.iters,
+        rate,
+        t.json()
+    )
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let mut c = cfg.criterion();
+    println!(
+        "bench_fanout ({} mode, {} rounds/iter, payload {} KiB)",
+        if cfg.smoke { "smoke" } else { "full" },
+        cfg.rounds,
+        PAYLOAD_ELEMS * 8 / 1024
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut width16_dedup = 0u64;
+    for mode in ["plain", "arc", "remote"] {
+        for &w in &WIDTHS {
+            let (summary, telemetry) = bench_width(&mut c, mode, w, cfg.rounds);
+            if w == 16 {
+                width16_dedup += telemetry.deep_copies_avoided;
+            }
+            rows.push(json_row(&summary, &telemetry));
+        }
+    }
+
+    let pool = ttg_comm::pool_stats();
+    let doc = format!(
+        "{{\"benchmark\":\"bench_fanout\",\"smoke\":{},\"payload_elems\":{},\
+         \"results\":[{}],\"buf_pool\":{}}}",
+        cfg.smoke,
+        PAYLOAD_ELEMS,
+        rows.join(","),
+        pool.json(),
+    );
+    debug_assert!(ttg_telemetry::json::validate(&doc).is_ok());
+    if let Some(dir) = std::path::Path::new(&cfg.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(&cfg.out, &doc).expect("write bench json");
+    println!("wrote {} ({} rows)", cfg.out, rows.len());
+
+    // Copy-plane regression gate (CI): a width-16 local fan-out through the
+    // COW value plane must avoid deep copies. `--baseline` runs on pre-COW
+    // builds, where the counter does not exist yet.
+    if !cfg.baseline {
+        assert!(
+            width16_dedup > 0,
+            "deep_copies_avoided is 0 on the width-16 fan-out: COW value plane inactive"
+        );
+        println!("width-16 gate: deep_copies_avoided = {width16_dedup} > 0");
+    }
+}

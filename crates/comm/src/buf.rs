@@ -59,6 +59,16 @@ impl WriteBuf {
         }
     }
 
+    /// Create a buffer with at least `cap` capacity, reusing a recycled
+    /// allocation from the [`crate::pool`] free-list when one is available.
+    /// Callers on the receive side return the backing `Vec` with
+    /// [`crate::pool::recycle`] once the message is consumed.
+    pub fn pooled(cap: usize) -> Self {
+        WriteBuf {
+            buf: crate::pool::acquire(cap),
+        }
+    }
+
     put_prim!(put_u8, u8);
     put_prim!(put_u16, u16);
     put_prim!(put_u32, u32);

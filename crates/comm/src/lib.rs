@@ -7,6 +7,8 @@
 //! * [`wire`] — the [`Wire`] trait with three transfer protocols mirroring
 //!   the paper (§II-C): trivial (`memcpy`), generic archive
 //!   (Boost.Serialization analog), and split-metadata (two-stage RMA);
+//! * [`pool`] — a bounded free-list that recycles hot-path wire buffers
+//!   instead of reallocating one per message;
 //! * [`fabric`] — an in-process fabric of logical ranks with active
 //!   messages, emulated one-sided RMA, barriers, and traffic counters.
 //!
@@ -17,8 +19,10 @@
 
 pub mod buf;
 pub mod fabric;
+pub mod pool;
 pub mod wire;
 
 pub use buf::{ReadBuf, WireError, WriteBuf};
 pub use fabric::{Fabric, FabricStats, Packet, Rank, RegionId, StatsSnapshot};
+pub use pool::{pool_stats, PoolStats};
 pub use wire::{bytes_to_f64s, f64s_to_bytes, from_bytes, to_bytes, Wire, WireKind};

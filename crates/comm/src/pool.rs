@@ -1,0 +1,242 @@
+//! Free-list recycling for hot-path wire buffers.
+//!
+//! Every active message used to allocate a fresh `Vec<u8>` on send and drop
+//! it after delivery. The [`BufPool`] keeps a small sharded free-list of
+//! retired buffers so steady-state traffic reuses allocations instead of
+//! round-tripping through the global allocator. Shards are picked per
+//! thread, so the common pattern — comm thread recycles what worker threads
+//! acquired — degenerates to near-uncontended stack pushes/pops.
+//!
+//! The pool is deliberately bounded: buffers above [`MAX_POOLED_CAP`] are
+//! dropped rather than cached (a single giant splitmd payload must not pin
+//! a megabyte per shard forever), and each shard holds at most
+//! [`SHARD_DEPTH`] buffers. Hit/miss/recycled/dropped counters are exposed
+//! through [`pool_stats`] for the benchmark reports.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Number of independent free-lists; threads hash onto one at first use.
+const SHARDS: usize = 8;
+
+/// Maximum buffers retained per shard.
+const SHARD_DEPTH: usize = 64;
+
+/// Buffers with more capacity than this are dropped on recycle instead of
+/// pooled, bounding resident memory at `SHARDS * SHARD_DEPTH * 1 MiB` worst
+/// case (reached only if every pooled buffer grew to the cap).
+const MAX_POOLED_CAP: usize = 1 << 20;
+
+#[derive(Default)]
+struct Shard {
+    free: Mutex<Vec<Vec<u8>>>,
+}
+
+struct Pool {
+    shards: [Shard; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+    dropped: AtomicU64,
+}
+
+static POOL: Pool = Pool {
+    shards: [
+        Shard {
+            free: Mutex::new(Vec::new()),
+        },
+        Shard {
+            free: Mutex::new(Vec::new()),
+        },
+        Shard {
+            free: Mutex::new(Vec::new()),
+        },
+        Shard {
+            free: Mutex::new(Vec::new()),
+        },
+        Shard {
+            free: Mutex::new(Vec::new()),
+        },
+        Shard {
+            free: Mutex::new(Vec::new()),
+        },
+        Shard {
+            free: Mutex::new(Vec::new()),
+        },
+        Shard {
+            free: Mutex::new(Vec::new()),
+        },
+    ],
+    hits: AtomicU64::new(0),
+    misses: AtomicU64::new(0),
+    recycled: AtomicU64::new(0),
+    dropped: AtomicU64::new(0),
+};
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+#[inline]
+fn my_shard() -> usize {
+    MY_SHARD.with(|s| *s)
+}
+
+/// Take a cleared buffer with at least `cap` capacity from the calling
+/// thread's shard — stealing from sibling shards on a local miss, since
+/// producers (workers) and recyclers (comm threads) are usually different
+/// threads — falling back to a fresh allocation on pool miss.
+pub fn acquire(cap: usize) -> Vec<u8> {
+    let home = my_shard();
+    let mut found = POOL.shards[home].free.lock().pop();
+    if found.is_none() {
+        for i in 1..SHARDS {
+            let s = &POOL.shards[(home + i) % SHARDS];
+            // try_lock: never stall the hot path on a contended sibling.
+            if let Some(mut free) = s.free.try_lock() {
+                if let Some(buf) = free.pop() {
+                    found = Some(buf);
+                    break;
+                }
+            }
+        }
+    }
+    if let Some(mut buf) = found {
+        POOL.hits.fetch_add(1, Ordering::Relaxed);
+        if buf.capacity() < cap {
+            buf.reserve(cap - buf.len());
+        }
+        return buf;
+    }
+    POOL.misses.fetch_add(1, Ordering::Relaxed);
+    Vec::with_capacity(cap)
+}
+
+/// Return a retired buffer to the pool. The buffer is cleared; oversized
+/// buffers are dropped, and overflow past the home shard's depth spills to
+/// the first sibling with room (dropped only when the whole pool is full).
+pub fn recycle(mut buf: Vec<u8>) {
+    if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_CAP {
+        POOL.dropped.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    buf.clear();
+    let home = my_shard();
+    for i in 0..SHARDS {
+        let s = &POOL.shards[(home + i) % SHARDS];
+        let mut free = if i == 0 {
+            s.free.lock()
+        } else {
+            match s.free.try_lock() {
+                Some(f) => f,
+                None => continue,
+            }
+        };
+        if free.len() < SHARD_DEPTH {
+            free.push(buf);
+            POOL.recycled.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+    POOL.dropped.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Point-in-time counters of the process-wide wire-buffer pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires served from the free-list.
+    pub hits: u64,
+    /// Acquires that fell back to a fresh allocation.
+    pub misses: u64,
+    /// Buffers successfully returned to the free-list.
+    pub recycled: u64,
+    /// Buffers dropped on recycle (oversized or shard full).
+    pub dropped: u64,
+}
+
+impl PoolStats {
+    /// Fraction of acquires served from the pool, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Render the stats as a JSON object string.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"recycled\":{},\"dropped\":{},\"hit_rate\":{:.4}}}",
+            self.hits,
+            self.misses,
+            self.recycled,
+            self.dropped,
+            self.hit_rate()
+        )
+    }
+}
+
+/// Snapshot the process-wide pool counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        hits: POOL.hits.load(Ordering::Relaxed),
+        misses: POOL.misses.load(Ordering::Relaxed),
+        recycled: POOL.recycled.load(Ordering::Relaxed),
+        dropped: POOL.dropped.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_recycle_roundtrip() {
+        let before = pool_stats();
+        let mut buf = acquire(256);
+        assert!(buf.capacity() >= 256);
+        buf.extend_from_slice(&[1, 2, 3]);
+        recycle(buf);
+        let again = acquire(16);
+        // The recycled buffer must come back cleared.
+        assert!(again.is_empty());
+        let after = pool_stats();
+        assert!(after.recycled > before.recycled);
+        assert!(after.hits + after.misses >= before.hits + before.misses + 2);
+    }
+
+    #[test]
+    fn oversized_buffers_are_dropped() {
+        let before = pool_stats();
+        recycle(Vec::with_capacity(MAX_POOLED_CAP + 1));
+        let after = pool_stats();
+        assert_eq!(after.dropped, before.dropped + 1);
+        assert_eq!(after.recycled, before.recycled);
+    }
+
+    #[test]
+    fn zero_capacity_recycle_is_dropped() {
+        let before = pool_stats();
+        recycle(Vec::new());
+        let after = pool_stats();
+        assert_eq!(after.dropped, before.dropped + 1);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let s = PoolStats {
+            hits: 3,
+            misses: 1,
+            recycled: 0,
+            dropped: 0,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(PoolStats::default().hit_rate(), 0.0);
+        assert!(s.json().contains("\"hits\":3"));
+    }
+}

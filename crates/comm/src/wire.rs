@@ -52,6 +52,14 @@ pub trait Wire: Sized + Send + 'static {
         b.len()
     }
 
+    /// Bytes a semantic `clone` of this value must copy — consumed by the
+    /// runtime's copy-plane accounting (`cow_clones` / `cloned_bytes`).
+    /// Defaults to the serialized size; reference-counted wrappers whose
+    /// clone is a refcount bump report `0`.
+    fn clone_cost_bytes(&self) -> usize {
+        self.wire_size()
+    }
+
     /// Serialize a contiguous slice of values. The default loops per
     /// element; trivial fixed-size types override this with a single bulk
     /// copy, which is what makes `Vec<f64>`-style payloads hit memory
@@ -269,6 +277,49 @@ impl<T: Wire> Wire for Vec<T> {
     }
     fn wire_size(&self) -> usize {
         8 + T::slice_wire_size(self)
+    }
+}
+
+/// `Arc<T>` is wire-transparent: it serializes exactly like `T` (the
+/// refcount is a process-local artifact), decodes into a fresh uniquely
+/// owned allocation, and keeps `T`'s protocol — including split-metadata.
+/// Its distinguishing property is `clone_cost_bytes() == 0`: cloning an
+/// `Arc` is a refcount bump, which is what lets applications opt broadcast
+/// edges into the zero-copy value plane (`Edge<K, Arc<Tile>>`) without
+/// changing the wire format.
+impl<T: Wire + Sync> Wire for std::sync::Arc<T> {
+    const KIND: WireKind = T::KIND;
+    #[inline]
+    fn encode(&self, b: &mut WriteBuf) {
+        T::encode(self, b);
+    }
+    #[inline]
+    fn decode(r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
+        Ok(std::sync::Arc::new(T::decode(r)?))
+    }
+    #[inline]
+    fn wire_size(&self) -> usize {
+        T::wire_size(self)
+    }
+    #[inline]
+    fn clone_cost_bytes(&self) -> usize {
+        0
+    }
+    fn split_encode_md(&self, b: &mut WriteBuf) {
+        T::split_encode_md(self, b);
+    }
+    fn split_decode_md(r: &mut ReadBuf<'_>) -> Result<Self, WireError> {
+        Ok(std::sync::Arc::new(T::split_decode_md(r)?))
+    }
+    fn split_payload(&self) -> Option<Vec<u8>> {
+        T::split_payload(self)
+    }
+    fn split_attach(&mut self, bytes: &[u8]) {
+        // Only reached on freshly decoded (uniquely owned) values: stage 2
+        // of splitmd attaches the RMA payload before the value is shared.
+        std::sync::Arc::get_mut(self)
+            .expect("split_attach on a shared Arc")
+            .split_attach(bytes);
     }
 }
 

@@ -20,6 +20,10 @@ pub struct CoreMetrics {
     local_copies: Vec<Counter>,
     local_shared: Vec<Counter>,
     dropped_sends: Vec<Counter>,
+    values_shared: Vec<Counter>,
+    deep_copies_avoided: Vec<Counter>,
+    cow_clones: Vec<Counter>,
+    cloned_bytes: Vec<Counter>,
 }
 
 impl CoreMetrics {
@@ -37,6 +41,10 @@ impl CoreMetrics {
             local_copies: per_rank("local_copies"),
             local_shared: per_rank("local_shared"),
             dropped_sends: per_rank("dropped_sends"),
+            values_shared: per_rank("values_shared"),
+            deep_copies_avoided: per_rank("deep_copies_avoided"),
+            cow_clones: per_rank("cow_clones"),
+            cloned_bytes: per_rank("cloned_bytes"),
         }
     }
 
@@ -78,6 +86,46 @@ impl CoreMetrics {
     /// Zero-copy local deliveries so far on `rank`.
     pub fn local_shared(&self, rank: usize) -> u64 {
         self.local_shared[rank].get()
+    }
+
+    /// A fan-out value was erased once into a shared (`Arc`) handle on
+    /// `rank` instead of being deep-copied per consumer.
+    pub fn count_value_shared(&self, rank: usize) {
+        self.values_shared[rank].inc();
+    }
+
+    /// A consumer on `rank` obtained its input from a shared handle without
+    /// paying a deep copy (moved out at refcount 1, or the clone was a
+    /// refcount bump).
+    pub fn count_deep_copy_avoided(&self, rank: usize) {
+        self.deep_copies_avoided[rank].inc();
+    }
+
+    /// A consumer on `rank` raced live readers of a shared value and paid a
+    /// copy-on-write clone of `bytes` bytes.
+    pub fn count_cow_clone(&self, rank: usize, bytes: u64) {
+        self.cow_clones[rank].inc();
+        self.cloned_bytes[rank].add(bytes);
+    }
+
+    /// Values erased into shared handles so far on `rank`.
+    pub fn values_shared(&self, rank: usize) -> u64 {
+        self.values_shared[rank].get()
+    }
+
+    /// Deep copies avoided by the COW value plane so far on `rank`.
+    pub fn deep_copies_avoided(&self, rank: usize) -> u64 {
+        self.deep_copies_avoided[rank].get()
+    }
+
+    /// Copy-on-write clones so far on `rank`.
+    pub fn cow_clones(&self, rank: usize) -> u64 {
+        self.cow_clones[rank].get()
+    }
+
+    /// Bytes deep-copied by COW clones so far on `rank`.
+    pub fn cloned_bytes(&self, rank: usize) -> u64 {
+        self.cloned_bytes[rank].get()
     }
 
     /// `n` sends on `rank` were dropped because their edge has no consumer.

@@ -18,12 +18,22 @@ use crate::node::{
     am_header, NodeInner, MSG_DATA_INLINE, MSG_DATA_SPLITMD, MSG_FINALIZE, MSG_SET_SIZE,
 };
 use crate::trace::Dep;
-use crate::types::{Data, ErasedVal, Key, LocalPass};
+use crate::types::{Data, EncodeCache, ErasedVal, FanoutVal, Key, LocalPass};
 
 /// A consumer endpoint of an edge: one input terminal of one template task.
 pub trait ConsumerPort<K: Key, V: Data>: Send + Sync {
-    /// Route `v` to the tasks identified by `keys`.
-    fn route(&self, keys: &[K], v: V, from_task: u64, src_rank: usize, ctx: &Arc<RuntimeCtx>);
+    /// Route `v` to the tasks identified by `keys`. The producer-side
+    /// terminal decides the ownership mode: single-port sends arrive
+    /// `Owned` (moved end to end), multi-port broadcasts arrive `Shared`
+    /// with a serialize-once cache spanning the ports.
+    fn route(
+        &self,
+        keys: &[K],
+        v: FanoutVal<V>,
+        from_task: u64,
+        src_rank: usize,
+        ctx: &Arc<RuntimeCtx>,
+    );
     /// Set the expected stream size for key `k` on this terminal.
     fn set_stream_size(&self, k: &K, n: usize, src_rank: usize, ctx: &Arc<RuntimeCtx>);
     /// Finalize the stream for key `k` on this terminal.
@@ -151,7 +161,7 @@ impl<K: Key, V: Data> PortImpl<K, V> {
         node: &Arc<NodeInner<K>>,
         rank: usize,
         keys: &[&K],
-        v: V,
+        v: FanoutVal<V>,
         from_task: u64,
         src_rank: usize,
         ctx: &Arc<RuntimeCtx>,
@@ -171,29 +181,55 @@ impl<K: Key, V: Data> PortImpl<K, V> {
                 for &k in keys {
                     ctx.fabric.count_data_copy();
                     ctx.metrics.count_local_copy(rank);
-                    node.insert(rank, t, k.clone(), ErasedVal::erase(v.clone()), dep, ctx);
+                    node.insert(
+                        rank,
+                        t,
+                        k.clone(),
+                        ErasedVal::erase(v.get().clone()),
+                        dep,
+                        ctx,
+                    );
                 }
             }
             LocalPass::Share => {
                 // PaRSEC-like: the runtime owns the datum; consumers share
                 // an Arc and copy-on-write only if they mutate while shared.
-                if keys.len() == 1 {
-                    ctx.metrics.count_local_shared(rank);
-                    node.insert(rank, t, keys[0].clone(), ErasedVal::erase(v), dep, ctx);
-                } else {
-                    let arc: Arc<V> = Arc::new(v);
-                    for &k in keys {
+                match v {
+                    FanoutVal::Owned(v) if keys.len() == 1 => {
                         ctx.metrics.count_local_shared(rank);
-                        node.insert(
-                            rank,
-                            t,
-                            k.clone(),
-                            ErasedVal::Shared(
-                                Arc::clone(&arc) as Arc<dyn std::any::Any + Send + Sync>
-                            ),
-                            dep,
-                            ctx,
-                        );
+                        node.insert(rank, t, keys[0].clone(), ErasedVal::erase(v), dep, ctx);
+                    }
+                    FanoutVal::Owned(v) => {
+                        // Erase once into a shared handle; every consumer
+                        // gets the same allocation.
+                        let arc: Arc<V> = Arc::new(v);
+                        ctx.metrics.count_value_shared(rank);
+                        for &k in keys {
+                            ctx.metrics.count_local_shared(rank);
+                            node.insert(
+                                rank,
+                                t,
+                                k.clone(),
+                                ErasedVal::erase_shared(Arc::clone(&arc)),
+                                dep,
+                                ctx,
+                            );
+                        }
+                    }
+                    FanoutVal::Shared(arc, _) => {
+                        // Already shared across the broadcast's ports: hand
+                        // the same allocation to this port's consumers too.
+                        for &k in keys {
+                            ctx.metrics.count_local_shared(rank);
+                            node.insert(
+                                rank,
+                                t,
+                                k.clone(),
+                                ErasedVal::erase_shared(Arc::clone(&arc)),
+                                dep,
+                                ctx,
+                            );
+                        }
                     }
                 }
             }
@@ -213,7 +249,7 @@ impl<K: Key, V: Data> PortImpl<K, V> {
     ) {
         // header(11) + src_rank(8) + key count(4) + keys + value.
         let key_bytes: usize = keys.iter().map(|k| k.wire_size()).sum();
-        let mut b = WriteBuf::with_capacity(23 + key_bytes + value_bytes.len());
+        let mut b = WriteBuf::pooled(23 + key_bytes + value_bytes.len());
         am_header(&mut b, from_task, MSG_DATA_INLINE, self.terminal);
         b.put_u64(src_rank as u64);
         b.put_u32(keys.len() as u32);
@@ -226,7 +262,14 @@ impl<K: Key, V: Data> PortImpl<K, V> {
 }
 
 impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
-    fn route(&self, keys: &[K], v: V, from_task: u64, src_rank: usize, ctx: &Arc<RuntimeCtx>) {
+    fn route(
+        &self,
+        keys: &[K],
+        v: FanoutVal<V>,
+        from_task: u64,
+        src_rank: usize,
+        ctx: &Arc<RuntimeCtx>,
+    ) {
         let node = self.node();
         let n_ranks = ctx.n_ranks();
 
@@ -259,10 +302,20 @@ impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
             let use_splitmd = V::KIND == WireKind::SplitMd && ctx.backend.supports_splitmd;
             if use_splitmd {
                 // Stage 1: register the contiguous payload once for all
-                // destination ranks, send only metadata eagerly.
-                let payload = Arc::new(v.split_payload().unwrap_or_default());
+                // destination ranks, send only metadata eagerly. A shared
+                // broadcast builds the payload once *per broadcast*: the
+                // first port freezes it in the cache, later ports reuse it.
+                let payload: Arc<Vec<u8>> = match &v {
+                    FanoutVal::Shared(x, cache) => cache.payload(|| {
+                        ctx.fabric.count_serialization();
+                        x.split_payload().unwrap_or_default()
+                    }),
+                    FanoutVal::Owned(x) => {
+                        ctx.fabric.count_serialization();
+                        Arc::new(x.split_payload().unwrap_or_default())
+                    }
+                };
                 let payload_len = payload.len() as u64;
-                ctx.fabric.count_serialization();
                 let region = ctx
                     .fabric
                     .register_region(src_rank, payload, remote.len(), None);
@@ -270,7 +323,7 @@ impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
                     // header(11) + src_rank(8) + region(8) + src_rank(8)
                     // + key count(4) + keys + metadata (sized by encode).
                     let key_bytes: usize = ks.iter().map(|k| k.wire_size()).sum();
-                    let mut b = WriteBuf::with_capacity(39 + key_bytes);
+                    let mut b = WriteBuf::pooled(39 + key_bytes);
                     am_header(&mut b, from_task, MSG_DATA_SPLITMD, self.terminal);
                     b.put_u64(src_rank as u64);
                     b.put_u64(region);
@@ -279,7 +332,7 @@ impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
                     for k in ks {
                         k.encode(&mut b);
                     }
-                    v.split_encode_md(&mut b);
+                    v.get().split_encode_md(&mut b);
                     ctx.fabric.send_am(src_rank, *dest, node.id, b.into_vec());
                 }
                 if sends_saved > 0 {
@@ -287,10 +340,19 @@ impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
                         .count_broadcast_dedup(sends_saved, sends_saved * payload_len);
                 }
             } else if ctx.backend.optimized_broadcast {
-                // Serialize the value once per *send*, reuse for every rank
-                // (paper §II-A broadcast optimization).
-                let value_bytes = ttg_comm::to_bytes(&v);
-                ctx.fabric.count_serialization();
+                // Serialize the value once per *broadcast*, reuse the frozen
+                // slab for every rank and every port (paper §II-A broadcast
+                // optimization, extended across consumer ports).
+                let value_bytes: Arc<Vec<u8>> = match &v {
+                    FanoutVal::Shared(x, cache) => cache.bytes(|| {
+                        ctx.fabric.count_serialization();
+                        ttg_comm::to_bytes(&**x)
+                    }),
+                    FanoutVal::Owned(x) => {
+                        ctx.fabric.count_serialization();
+                        Arc::new(ttg_comm::to_bytes(x))
+                    }
+                };
                 for (dest, ks) in &remote {
                     self.send_inline(&node, *dest, ks, &value_bytes, from_task, src_rank, ctx);
                 }
@@ -302,7 +364,7 @@ impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
                 // Naive path: one serialization (and one AM) per key.
                 for (dest, ks) in &remote {
                     for &k in ks {
-                        let value_bytes = ttg_comm::to_bytes(&v);
+                        let value_bytes = ttg_comm::to_bytes(v.get());
                         ctx.fabric.count_serialization();
                         self.send_inline(
                             &node,
@@ -354,7 +416,7 @@ pub(crate) fn port_set_stream_size<K: Key>(
         node.set_stream_size(owner, terminal as usize, k.clone(), n, ctx);
     } else {
         // header(11) + key + size(8).
-        let mut b = WriteBuf::with_capacity(19 + k.wire_size());
+        let mut b = WriteBuf::pooled(19 + k.wire_size());
         am_header(&mut b, 0, MSG_SET_SIZE, terminal);
         k.encode(&mut b);
         b.put_u64(n as u64);
@@ -374,7 +436,7 @@ pub(crate) fn port_finalize<K: Key>(
         node.finalize_stream(owner, terminal as usize, k.clone(), ctx);
     } else {
         // header(11) + key.
-        let mut b = WriteBuf::with_capacity(11 + k.wire_size());
+        let mut b = WriteBuf::pooled(11 + k.wire_size());
         am_header(&mut b, 0, MSG_FINALIZE, terminal);
         k.encode(&mut b);
         ctx.fabric.send_am(src_rank, owner, node.id, b.into_vec());
@@ -404,6 +466,34 @@ pub(crate) fn port_seed<K: Key, V: Data>(
     );
 }
 
+/// Drop repeated keys from a broadcast key list, preserving first-occurrence
+/// order. Returns `None` when the list is already duplicate-free — the
+/// overwhelmingly common case, which must not allocate. Small lists are
+/// scanned quadratically (cheaper than hashing); larger ones go through a
+/// `HashSet`.
+fn dedupe_keys<K: Key>(keys: &[K]) -> Option<Vec<K>> {
+    const SCAN_CAP: usize = 8;
+    if keys.len() <= SCAN_CAP {
+        if !keys.iter().enumerate().any(|(i, k)| keys[..i].contains(k)) {
+            return None;
+        }
+        let mut out: Vec<K> = Vec::with_capacity(keys.len());
+        for k in keys {
+            if !out.contains(k) {
+                out.push(k.clone());
+            }
+        }
+        Some(out)
+    } else {
+        let mut seen = std::collections::HashSet::with_capacity(keys.len());
+        if keys.iter().all(|k| seen.insert(k)) {
+            return None;
+        }
+        seen.clear();
+        Some(keys.iter().filter(|k| seen.insert(*k)).cloned().collect())
+    }
+}
+
 /// Producer-side handle on an edge: the output terminal of a template task.
 pub struct OutTerm<K: Key, V: Data> {
     edge: Edge<K, V>,
@@ -422,6 +512,11 @@ impl<K: Key, V: Data> OutTerm<K, V> {
 
     /// Send `v` to every task in `keys` on every consumer of the edge
     /// (`ttg::broadcast`, Fig. 2b).
+    ///
+    /// Repeated keys are deduplicated before routing: a duplicated key must
+    /// not double-deliver (exactly-once matching would reject it) or
+    /// double-count broadcast bytes. A multi-port broadcast erases the value
+    /// once into a shared handle instead of deep-cloning it per port.
     pub fn broadcast_keys(
         &self,
         keys: &[K],
@@ -433,6 +528,8 @@ impl<K: Key, V: Data> OutTerm<K, V> {
         if keys.is_empty() {
             return;
         }
+        let deduped = dedupe_keys(keys);
+        let keys: &[K] = deduped.as_deref().unwrap_or(keys);
         self.edge.with_consumers(|ports| {
             if ports.is_empty() {
                 // No consumer terminal: the value has nowhere to go. Count
@@ -448,10 +545,27 @@ impl<K: Key, V: Data> OutTerm<K, V> {
                     });
                 return;
             }
-            for port in &ports[..ports.len() - 1] {
-                port.route(keys, v.clone(), from_task, src_rank, ctx);
+            if ports.len() == 1 {
+                // Single consumer port: keep exclusive ownership so the
+                // value can move end to end.
+                ports[0].route(keys, FanoutVal::Owned(v), from_task, src_rank, ctx);
+            } else {
+                // Erase once, share across every port: local consumers all
+                // alias the same allocation, remote fan-out serializes once
+                // per broadcast through the attached cache.
+                let arc = Arc::new(v);
+                let cache = Arc::new(EncodeCache::default());
+                ctx.metrics.count_value_shared(src_rank);
+                for port in ports {
+                    port.route(
+                        keys,
+                        FanoutVal::Shared(Arc::clone(&arc), Arc::clone(&cache)),
+                        from_task,
+                        src_rank,
+                        ctx,
+                    );
+                }
             }
-            ports[ports.len() - 1].route(keys, v, from_task, src_rank, ctx);
         });
     }
 

@@ -138,6 +138,9 @@ impl Executor {
                                             panic!("AM delivery failed on rank {r}: {e}")
                                         });
                                     ctx2.fabric.packet_processed();
+                                    // Hand the AM buffer back to the wire
+                                    // buffer pool for the next send.
+                                    ttg_comm::pool::recycle(payload);
                                 }
                                 Packet::Shutdown => break,
                             }

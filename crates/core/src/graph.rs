@@ -51,7 +51,7 @@ impl GraphBuilder {
         let terms = outputs.terms();
         node.set_invoke(Arc::new(
             move |k: K, vals: Vec<ErasedVal>, task_id: u64, rank: usize, ctx: &Arc<RuntimeCtx>| {
-                let values = IS::extract(vals, ctx);
+                let values = IS::extract(vals, rank, ctx);
                 let outs = Outs::new(&terms, task_id, rank, ctx);
                 body(&k, values, &outs);
             },

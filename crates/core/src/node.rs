@@ -20,7 +20,7 @@ use ttg_comm::{ReadBuf, WireError, WriteBuf};
 use crate::ctx::RuntimeCtx;
 use crate::inspect::{EdgeDecl, KeymapProbe, MutationError, ReducerDecl, StuckEntry};
 use crate::trace::{Dep, TaskEvent};
-use crate::types::{ErasedVal, Key};
+use crate::types::{ErasedVal, Key, LocalPass};
 
 #[cfg(feature = "checked")]
 use crate::inspect::Violation;
@@ -61,8 +61,13 @@ pub struct InputMeta {
     pub decode_splitmd: Arc<
         dyn Fn(&mut ReadBuf<'_>, &[u8]) -> Result<Box<dyn Any + Send>, WireError> + Send + Sync,
     >,
-    /// Clone an erased boxed value (for multi-key deliveries).
+    /// Clone an erased boxed value (for multi-key deliveries in `Copy`
+    /// local-pass mode).
     pub clone_boxed: Arc<dyn Fn(&(dyn Any + Send)) -> Box<dyn Any + Send> + Send + Sync>,
+    /// Promote an erased boxed value into a shared handle (for multi-key
+    /// deliveries in `Share` local-pass mode: piggybacked consumers alias
+    /// one allocation instead of each receiving a deep copy).
+    pub to_shared: Arc<dyn Fn(Box<dyn Any + Send>) -> Arc<dyn Any + Send + Sync> + Send + Sync>,
 }
 
 /// State of one input terminal for one pending task ID.
@@ -1023,21 +1028,39 @@ impl<K: Key> NodeInner<K> {
     ) {
         let meta = self.meta(terminal);
         let n = keys.len();
+        // Every key records the full wire size, tagged with the shared
+        // transfer id: the projection simulates the AM once and lets
+        // all piggybacked consumers wait for the same arrival.
+        let dep = Dep {
+            from_task,
+            bytes,
+            src_rank,
+            msg,
+        };
+        if n > 1 && ctx.backend.local_pass == LocalPass::Share {
+            // Share local-pass: the piggybacked consumers of one AM alias a
+            // single decoded allocation instead of each getting a deep copy.
+            let arc = (meta.to_shared)(first);
+            ctx.metrics.count_value_shared(rank);
+            for k in keys {
+                ctx.metrics.count_local_shared(rank);
+                self.insert(
+                    rank,
+                    terminal,
+                    k,
+                    ErasedVal::Shared(Arc::clone(&arc)),
+                    dep,
+                    ctx,
+                );
+            }
+            return;
+        }
         let mut first = Some(first);
         for (i, k) in keys.into_iter().enumerate() {
             let val = if i + 1 == n {
                 first.take().unwrap()
             } else {
                 (meta.clone_boxed)(first.as_deref().unwrap())
-            };
-            // Every key records the full wire size, tagged with the shared
-            // transfer id: the projection simulates the AM once and lets
-            // all piggybacked consumers wait for the same arrival.
-            let dep = Dep {
-                from_task,
-                bytes,
-                src_rank,
-                msg,
             };
             self.insert(rank, terminal, k, ErasedVal::Owned(val), dep, ctx);
         }

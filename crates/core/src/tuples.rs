@@ -30,6 +30,10 @@ pub fn meta_for<V: Data>() -> InputMeta {
             let v = b.downcast_ref::<V>().expect("clone_boxed type mismatch");
             Box::new(v.clone()) as Box<dyn Any + Send>
         }),
+        to_shared: Arc::new(|b: Box<dyn Any + Send>| {
+            let v = b.downcast::<V>().expect("to_shared type mismatch");
+            Arc::new(*v) as Arc<dyn Any + Send + Sync>
+        }),
     }
 }
 
@@ -46,9 +50,11 @@ pub trait EdgeList<K: Key>: 'static {
     fn decls(&self) -> Vec<crate::inspect::EdgeDecl>;
     /// Register one consumer port per edge on `node`.
     fn connect(&self, node: &Arc<NodeInner<K>>);
-    /// Downcast the erased input values into the typed tuple, counting
-    /// copy-on-write copies in the fabric stats.
-    fn extract(vals: Vec<ErasedVal>, ctx: &RuntimeCtx) -> Self::Values;
+    /// Downcast the erased input values into the typed tuple, tracking the
+    /// copy plane: moves out of shared handles and refcount-bump clones
+    /// count as avoided deep copies, deep clones of still-shared values
+    /// count as copy-on-write clones (with their byte cost).
+    fn extract(vals: Vec<ErasedVal>, rank: usize, ctx: &RuntimeCtx) -> Self::Values;
 }
 
 macro_rules! impl_edge_list {
@@ -74,14 +80,34 @@ macro_rules! impl_edge_list {
                 )+
             }
 
-            fn extract(vals: Vec<ErasedVal>, ctx: &RuntimeCtx) -> Self::Values {
+            fn extract(vals: Vec<ErasedVal>, rank: usize, ctx: &RuntimeCtx) -> Self::Values {
                 let mut it = vals.into_iter();
                 ($(
                     {
                         let ev = it.next().expect("missing input value");
+                        let shared = ev.is_shared();
                         let (v, copied): ($V, bool) =
                             ev.take().expect("input value type mismatch");
-                        if copied {
+                        if shared {
+                            if !copied {
+                                // Last live holder: moved the original
+                                // allocation out of the Arc.
+                                ctx.metrics.count_deep_copy_avoided(rank);
+                            } else {
+                                let cost = ttg_comm::Wire::clone_cost_bytes(&v);
+                                if cost == 0 {
+                                    // Refcount-bump clone (e.g. Arc<T>
+                                    // payloads): shared, but still no deep
+                                    // copy.
+                                    ctx.metrics.count_deep_copy_avoided(rank);
+                                } else {
+                                    // Raced live readers: paid a real
+                                    // copy-on-write clone.
+                                    ctx.fabric.count_data_copy();
+                                    ctx.metrics.count_cow_clone(rank, cost as u64);
+                                }
+                            }
+                        } else if copied {
                             ctx.fabric.count_data_copy();
                         }
                         v

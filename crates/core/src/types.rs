@@ -5,7 +5,7 @@
 use std::any::Any;
 use std::fmt;
 use std::hash::Hash;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use ttg_comm::{ReadBuf, Wire, WireError, WriteBuf};
 
@@ -44,6 +44,57 @@ pub enum LocalPass {
     Share,
     /// Deep-copy the value for every consumer (MADNESS-like).
     Copy,
+}
+
+/// Lazily filled serialize-once cache attached to a shared broadcast value.
+///
+/// A value fanning out to several consumer ports used to be re-serialized
+/// by every port that had remote destinations. With the cache, whichever
+/// port first needs the archive encoding (or the split-metadata payload)
+/// pays for it once; every other port reuses the frozen byte slab.
+#[derive(Default)]
+pub struct EncodeCache {
+    bytes: OnceLock<Arc<Vec<u8>>>,
+    payload: OnceLock<Arc<Vec<u8>>>,
+}
+
+impl EncodeCache {
+    /// The archive/trivial encoding of the value, computing it with `f` on
+    /// first use.
+    pub fn bytes(&self, f: impl FnOnce() -> Vec<u8>) -> Arc<Vec<u8>> {
+        Arc::clone(self.bytes.get_or_init(|| Arc::new(f())))
+    }
+
+    /// The split-metadata RMA payload of the value, computing it with `f`
+    /// on first use.
+    pub fn payload(&self, f: impl FnOnce() -> Vec<u8>) -> Arc<Vec<u8>> {
+        Arc::clone(self.payload.get_or_init(|| Arc::new(f())))
+    }
+}
+
+/// A value travelling from an output terminal to the consumer ports of one
+/// edge.
+///
+/// A single-port send keeps exclusive ownership (`Owned`) so the common
+/// case still moves the value end to end. A multi-port broadcast erases
+/// the value once into an `Arc` that every port — and through it every
+/// rank-local consumer — shares, bundled with the [`EncodeCache`] so remote
+/// fan-out serializes once per broadcast rather than once per port.
+pub enum FanoutVal<V: Data> {
+    /// Exclusively owned: the single-consumer-port fast path.
+    Owned(V),
+    /// Shared across the consumer ports of one broadcast.
+    Shared(Arc<V>, Arc<EncodeCache>),
+}
+
+impl<V: Data> FanoutVal<V> {
+    /// Borrow the value (for encoding and metadata).
+    pub fn get(&self) -> &V {
+        match self {
+            FanoutVal::Owned(v) => v,
+            FanoutVal::Shared(a, _) => a,
+        }
+    }
 }
 
 /// Inline storage threshold for [`ErasedVal::erase`].
@@ -90,6 +141,18 @@ impl ErasedVal {
         } else {
             ErasedVal::Owned(Box::new(v))
         }
+    }
+
+    /// Erase an `Arc`-shared value for multi-consumer fan-out: every
+    /// consumer holds the same allocation, and [`ErasedVal::take`] moves it
+    /// out (refcount 1) or clones-on-write (still shared).
+    pub fn erase_shared<V: Data>(arc: Arc<V>) -> Self {
+        ErasedVal::Shared(arc as Arc<dyn Any + Send + Sync>)
+    }
+
+    /// Whether this value is held through a shared (`Arc`) handle.
+    pub fn is_shared(&self) -> bool {
+        matches!(self, ErasedVal::Shared(_))
     }
 
     /// Recover the concrete value, cloning only when the handle is still

@@ -1,0 +1,253 @@
+//! Copy-on-write value-plane semantics: broadcast fan-out shares one
+//! erased allocation per rank, consumers move out at refcount 1 and
+//! clone-on-write only when they race a live reader, and `Arc` payloads
+//! never deep-copy at all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ttg_core::prelude::*;
+use ttg_telemetry::MetricKey;
+
+fn core_counter(report: &ExecReport, rank: usize, name: &'static str) -> u64 {
+    report
+        .telemetry
+        .counter(&MetricKey::ranked(rank, "core", name))
+}
+
+/// A single-consumer send in Share mode moves the value end to end: the
+/// consumer receives the producer's original heap allocation.
+#[test]
+fn single_consumer_send_moves_allocation() {
+    let start: Edge<u32, Vec<u64>> = Edge::new("start");
+    let link: Edge<u32, Vec<u64>> = Edge::new("link");
+    let mut g = GraphBuilder::new();
+    let src = g.make_tt(
+        "src",
+        (start,),
+        (link.clone(),),
+        |_| 0usize,
+        |k, (v,): (Vec<u64>,), outs| outs.send::<0>(*k, v),
+    );
+    let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let s2 = Arc::clone(&seen);
+    let _dst = g.make_tt(
+        "dst",
+        (link,),
+        (),
+        |_| 0usize,
+        move |_, (v,): (Vec<u64>,), _| s2.lock().unwrap().push(v.as_ptr() as usize),
+    );
+    let exec = Executor::new(
+        g.build(),
+        ExecConfig::distributed(1, 1, BackendSpec::default_spec()),
+    );
+    let payload: Vec<u64> = (0..512).collect();
+    let ptr = payload.as_ptr() as usize;
+    src.in_ref::<0>().seed(exec.ctx(), 7, payload);
+    let report = exec.finish();
+    assert_eq!(*seen.lock().unwrap(), vec![ptr], "value was not moved");
+    assert_eq!(report.comm.data_copies, 0);
+    assert_eq!(core_counter(&report, 0, "cow_clones"), 0);
+    assert!(report.violations.is_empty() && report.stuck.is_empty());
+}
+
+/// Width-4 broadcast of an owned `Vec` on one worker: the value is erased
+/// into a shared handle once, the first three consumers pay copy-on-write
+/// clones (the value is still shared when they take), and the last holder
+/// moves the original allocation out.
+#[test]
+fn last_take_moves_shared_allocation() {
+    const W: usize = 4;
+    let start: Edge<u32, Vec<u64>> = Edge::new("start");
+    let fan: Edge<u32, Vec<u64>> = Edge::new("fan");
+    let mut g = GraphBuilder::new();
+    let src = g.make_tt(
+        "src",
+        (start,),
+        (fan.clone(),),
+        |_| 0usize,
+        |_, (v,): (Vec<u64>,), outs| {
+            let keys: Vec<u32> = (0..W as u32).collect();
+            outs.broadcast::<0>(&keys, v);
+        },
+    );
+    let expect: Vec<u64> = (0..512).collect();
+    let expect2 = expect.clone();
+    let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let s2 = Arc::clone(&seen);
+    let _dst = g.make_tt(
+        "dst",
+        (fan,),
+        (),
+        |_| 0usize,
+        move |k, (mut v,): (Vec<u64>,), _| {
+            // Every consumer must observe the producer's value, then may
+            // mutate its own without aliasing into any other consumer.
+            assert_eq!(v, expect2, "consumer {k} saw a corrupted view");
+            s2.lock().unwrap().push(v.as_ptr() as usize);
+            v.iter_mut().for_each(|x| *x = *x * 2 + *k as u64);
+        },
+    );
+    let exec = Executor::new(
+        g.build(),
+        ExecConfig::distributed(1, 1, BackendSpec::default_spec()),
+    );
+    let ptr = expect.as_ptr() as usize;
+    src.in_ref::<0>().seed(exec.ctx(), 0, expect);
+    let report = exec.finish();
+
+    let ptrs = seen.lock().unwrap().clone();
+    assert_eq!(ptrs.len(), W);
+    assert_eq!(
+        ptrs.iter().filter(|&&p| p == ptr).count(),
+        1,
+        "exactly one consumer must receive the original allocation"
+    );
+    assert_eq!(core_counter(&report, 0, "values_shared"), 1);
+    assert_eq!(core_counter(&report, 0, "deep_copies_avoided"), 1);
+    assert_eq!(core_counter(&report, 0, "cow_clones"), (W - 1) as u64);
+    assert!(core_counter(&report, 0, "cloned_bytes") > 0);
+    assert!(report.violations.is_empty() && report.stuck.is_empty());
+}
+
+/// `Arc` payloads flow through the fan-out as refcount bumps: every
+/// consumer sees the same allocation and no deep copy is ever paid.
+#[test]
+fn arc_payload_shares_allocation_across_consumers() {
+    const W: usize = 8;
+    let start: Edge<u32, Arc<Vec<u64>>> = Edge::new("start");
+    let fan: Edge<u32, Arc<Vec<u64>>> = Edge::new("fan");
+    let mut g = GraphBuilder::new();
+    let src = g.make_tt(
+        "src",
+        (start,),
+        (fan.clone(),),
+        |_| 0usize,
+        |_, (v,): (Arc<Vec<u64>>,), outs| {
+            let keys: Vec<u32> = (0..W as u32).collect();
+            outs.broadcast::<0>(&keys, v);
+        },
+    );
+    let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let s2 = Arc::clone(&seen);
+    let _dst = g.make_tt(
+        "dst",
+        (fan,),
+        (),
+        |_| 0usize,
+        move |_, (v,): (Arc<Vec<u64>>,), _| s2.lock().unwrap().push(v.as_ptr() as usize),
+    );
+    let exec = Executor::new(
+        g.build(),
+        ExecConfig::distributed(1, 2, BackendSpec::default_spec()),
+    );
+    let payload: Arc<Vec<u64>> = Arc::new((0..256).collect());
+    let ptr = payload.as_ptr() as usize;
+    src.in_ref::<0>().seed(exec.ctx(), 0, payload);
+    let report = exec.finish();
+
+    let ptrs = seen.lock().unwrap().clone();
+    assert_eq!(ptrs.len(), W);
+    assert!(
+        ptrs.iter().all(|&p| p == ptr),
+        "every consumer must share the original allocation"
+    );
+    assert_eq!(report.comm.data_copies, 0);
+    assert_eq!(core_counter(&report, 0, "deep_copies_avoided"), W as u64);
+    assert_eq!(core_counter(&report, 0, "cow_clones"), 0);
+    assert!(report.violations.is_empty() && report.stuck.is_empty());
+}
+
+/// Repeated keys in a broadcast are deduplicated: each distinct task fires
+/// exactly once instead of tripping the exactly-once matching guard.
+#[test]
+fn duplicate_broadcast_keys_deliver_once() {
+    let start: Edge<u32, u64> = Edge::new("start");
+    let fan: Edge<u32, u64> = Edge::new("fan");
+    let mut g = GraphBuilder::new();
+    let src = g.make_tt(
+        "src",
+        (start,),
+        (fan.clone(),),
+        |_| 0usize,
+        |_, (x,): (u64,), outs| {
+            outs.broadcast::<0>(&[1, 2, 1, 3, 2, 1], x);
+        },
+    );
+    let fired = Arc::new(AtomicU64::new(0));
+    let keysum = Arc::new(AtomicU64::new(0));
+    let f2 = Arc::clone(&fired);
+    let k2 = Arc::clone(&keysum);
+    let _dst = g.make_tt(
+        "dst",
+        (fan,),
+        (),
+        |_| 0usize,
+        move |k, (_x,): (u64,), _| {
+            f2.fetch_add(1, Ordering::Relaxed);
+            k2.fetch_add(*k as u64, Ordering::Relaxed);
+        },
+    );
+    let exec = Executor::new(
+        g.build(),
+        ExecConfig::distributed(1, 2, BackendSpec::default_spec()),
+    );
+    src.in_ref::<0>().seed(exec.ctx(), 0, 5);
+    let report = exec.finish();
+    assert_eq!(fired.load(Ordering::Relaxed), 3);
+    assert_eq!(keysum.load(Ordering::Relaxed), 1 + 2 + 3);
+    assert!(report.violations.is_empty() && report.stuck.is_empty());
+}
+
+/// A remote broadcast consumed by two different template tasks on the same
+/// edge encodes the value once: the serialize-once cache is shared across
+/// consumer ports, not just across destination ranks.
+#[test]
+fn cross_port_remote_broadcast_serializes_once() {
+    let start: Edge<u32, Vec<u64>> = Edge::new("start");
+    let fan: Edge<u32, Vec<u64>> = Edge::new("fan");
+    let mut g = GraphBuilder::new();
+    let src = g.make_tt(
+        "src",
+        (start,),
+        (fan.clone(),),
+        |_| 0usize,
+        |_, (v,): (Vec<u64>,), outs| {
+            outs.broadcast::<0>(&[1], v);
+        },
+    );
+    let hits = Arc::new(AtomicU64::new(0));
+    let h_a = Arc::clone(&hits);
+    let _dst_a = g.make_tt(
+        "dst_a",
+        (fan.clone(),),
+        (),
+        |_| 1usize,
+        move |_, (_v,): (Vec<u64>,), _| {
+            h_a.fetch_add(1, Ordering::Relaxed);
+        },
+    );
+    let h_b = Arc::clone(&hits);
+    let _dst_b = g.make_tt(
+        "dst_b",
+        (fan,),
+        (),
+        |_| 1usize,
+        move |_, (_v,): (Vec<u64>,), _| {
+            h_b.fetch_add(1, Ordering::Relaxed);
+        },
+    );
+    let exec = Executor::new(
+        g.build(),
+        ExecConfig::distributed(2, 2, BackendSpec::default_spec()),
+    );
+    src.in_ref::<0>().seed(exec.ctx(), 0, (0..1000).collect());
+    let report = exec.finish();
+    assert_eq!(hits.load(Ordering::Relaxed), 2, "both consumers must fire");
+    assert_eq!(
+        report.comm.serializations, 1,
+        "cross-port broadcast must encode the value exactly once"
+    );
+    assert!(report.violations.is_empty() && report.stuck.is_empty());
+}

@@ -37,6 +37,22 @@ fn main() {
             "  tasks = {}, inter-rank msgs = {}, RMA bytes = {}, copies = {}",
             report.tasks, report.comm.am_count, report.comm.rma_bytes, report.comm.data_copies
         );
+        let core_sum = |name: &'static str| -> u64 {
+            (0..cfg.ranks)
+                .map(|r| {
+                    report
+                        .telemetry
+                        .counter(&ttg::telemetry::MetricKey::ranked(r, "core", name))
+                })
+                .sum()
+        };
+        println!(
+            "  value plane: shared = {}, deep copies avoided = {}, cow clones = {} ({} B cloned)",
+            core_sum("values_shared"),
+            core_sum("deep_copies_avoided"),
+            core_sum("cow_clones"),
+            core_sum("cloned_bytes")
+        );
         assert!(residual < 1e-8);
 
         // Project the run onto a 16-node Hawk-like machine.
