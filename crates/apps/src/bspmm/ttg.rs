@@ -40,6 +40,8 @@ pub struct Config {
     pub trace: bool,
     /// Drop tolerance applied to the product (paper: 1e-8).
     pub drop_tol: f64,
+    /// Fault-injection plan for chaos testing (None = perfect network).
+    pub faults: Option<FaultPlan>,
 }
 
 type K2 = (u32, u32);
@@ -234,15 +236,20 @@ pub fn run(a: &BlockSparse, b: &BlockSparse, cfg: &Config) -> (BlockSparse, Exec
             (coordinator.node_id(), 0),
         ],
     );
-    let exec = Executor::new(
-        graph,
-        ExecConfig {
+    let exec = Executor::new(graph, {
+        let mut ec = ExecConfig {
             ranks: cfg.ranks,
             workers_per_rank: cfg.workers,
             backend: cfg.backend.clone(),
             trace: cfg.trace,
-        },
-    );
+            faults: None,
+            delivery_deadline: None,
+        };
+        if let Some(plan) = cfg.faults.clone() {
+            ec = ec.with_faults(plan);
+        }
+        ec
+    });
 
     // Configure the dynamic stream sizes, then seed the reads.
     for (&(i, j), &n) in &mp.terms {
@@ -296,6 +303,7 @@ mod tests {
             backend,
             trace: false,
             drop_tol: 1e-8,
+            faults: None,
         }
     }
 

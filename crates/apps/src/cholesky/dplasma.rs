@@ -45,6 +45,17 @@ type K = (u64, u64, u64);
 
 /// Run the DPLASMA-like factorization over `ranks × workers`.
 pub fn run(a: &TiledMatrix, ranks: usize, workers: usize, trace: bool) -> (TiledMatrix, PtgReport) {
+    run_with_faults(a, ranks, workers, trace, None)
+}
+
+/// Like [`run`], but with a fault-injection plan installed on the fabric.
+pub fn run_with_faults(
+    a: &TiledMatrix,
+    ranks: usize,
+    workers: usize,
+    trace: bool,
+    faults: Option<ttg_comm::FaultPlan>,
+) -> (TiledMatrix, PtgReport) {
     let nt = a.nt() as u64;
     let nb = a.nb();
     let dist = Dist2D::for_ranks(ranks);
@@ -235,7 +246,7 @@ pub fn run(a: &TiledMatrix, ranks: usize, workers: usize, trace: bool) -> (Tiled
         },
     ];
 
-    let rt = PtgRuntime::new(classes, ranks, workers, trace);
+    let rt = PtgRuntime::with_faults(classes, ranks, workers, trace, faults);
     for i in 0..nt {
         for j in 0..=i {
             let tile = a.tile(i as usize, j as usize).clone();

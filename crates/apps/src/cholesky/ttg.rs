@@ -28,6 +28,8 @@ pub struct Config {
     pub trace: bool,
     /// Enable the priority map on the critical path (paper feature).
     pub priorities: bool,
+    /// Fault-injection plan for chaos testing (None = perfect network).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Config {
@@ -39,6 +41,7 @@ impl Config {
             backend,
             trace: false,
             priorities: true,
+            faults: None,
         }
     }
 }
@@ -231,15 +234,20 @@ pub fn run(a: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
     initiator.set_check_samples(vec![(0, 0), (nt - 1, 0), (nt - 1, nt - 1)]);
     let graph = g.build();
     ttg_check::check_if_enabled(&graph, cfg.ranks, &[(initiator.node_id(), 0)]);
-    let exec = Executor::new(
-        graph,
-        ExecConfig {
+    let exec = Executor::new(graph, {
+        let mut ec = ExecConfig {
             ranks: cfg.ranks,
             workers_per_rank: cfg.workers,
             backend: cfg.backend.clone(),
             trace: cfg.trace,
-        },
-    );
+            faults: None,
+            delivery_deadline: None,
+        };
+        if let Some(plan) = cfg.faults.clone() {
+            ec = ec.with_faults(plan);
+        }
+        ec
+    });
 
     // Seed one initiator control message per lower-triangle tile.
     let seed = initiator.in_ref::<0>();

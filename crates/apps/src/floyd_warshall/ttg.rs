@@ -213,6 +213,8 @@ pub fn run(m: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
             workers_per_rank: cfg.workers,
             backend: cfg.backend.clone(),
             trace: cfg.trace,
+            faults: None,
+            delivery_deadline: None,
         },
     );
     let seed = initiator.in_ref::<0>();

@@ -258,6 +258,8 @@ pub fn run(w: &Workload, cfg: &Config) -> MraResult {
             workers_per_rank: cfg.workers,
             backend: cfg.backend.clone(),
             trace: cfg.trace,
+            faults: None,
+            delivery_deadline: None,
         },
     );
     let seed = project.in_ref::<0>();

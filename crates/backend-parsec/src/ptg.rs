@@ -109,8 +109,12 @@ impl<K: Key, V: Data> RtInner<K, V> {
             key.encode(&mut b);
             v.encode(&mut b);
             self.fabric.count_serialization();
-            self.fabric
-                .send_am(src_rank, owner, class as u32, b.into_vec());
+            if let Err(e) = self
+                .fabric
+                .send_am(src_rank, owner, class as u32, b.into_vec())
+            {
+                self.fabric.record_error(e.into());
+            }
         }
     }
 
@@ -197,6 +201,8 @@ pub struct PtgReport {
     pub trace: Option<Vec<TaskEvent>>,
     /// Full telemetry snapshot (comm, sched, backend subsystems).
     pub telemetry: ttg_telemetry::Snapshot,
+    /// Structured communication failures recorded during the run.
+    pub comm_errors: Vec<ttg_comm::CommError>,
 }
 
 /// A running PTG program.
@@ -209,7 +215,19 @@ pub struct PtgRuntime<K: Key, V: Data> {
 impl<K: Key, V: Data> PtgRuntime<K, V> {
     /// Launch `classes` over `ranks × workers` with optional tracing.
     pub fn new(classes: Vec<TaskClass<K, V>>, ranks: usize, workers: usize, trace: bool) -> Self {
-        let fabric = Fabric::new(ranks);
+        Self::with_faults(classes, ranks, workers, trace, None)
+    }
+
+    /// Launch with a fault-injection plan installed on the fabric (chaos
+    /// testing; `None` = perfect network).
+    pub fn with_faults(
+        classes: Vec<TaskClass<K, V>>,
+        ranks: usize,
+        workers: usize,
+        trace: bool,
+        faults: Option<ttg_comm::FaultPlan>,
+    ) -> Self {
+        let fabric = Fabric::with_faults(ranks, faults);
         let quiescence = Arc::new(Quiescence::new());
         let pools = (0..ranks)
             .map(|r| {
@@ -257,28 +275,52 @@ impl<K: Key, V: Data> PtgRuntime<K, V> {
                 while let Ok(pkt) = rx.recv() {
                     match pkt {
                         Packet::Am {
-                            handler: _,
+                            handler,
                             from,
+                            seq,
                             payload,
                         } => {
-                            let mut rd = ReadBuf::new(&payload);
-                            let from_task = rd.get_u64().expect("ptg am header");
-                            let class = rd.get_u32().expect("ptg am class") as usize;
-                            let key = K::decode(&mut rd).expect("ptg am key");
-                            let bytes = rd.remaining() as u64;
-                            let v = V::decode(&mut rd).expect("ptg am value");
-                            rt.insert(
-                                class,
-                                r,
-                                key,
-                                v,
-                                Dep {
-                                    from_task,
-                                    bytes,
-                                    src_rank: from,
-                                    msg: 0,
-                                },
-                            );
+                            // Reliable-delivery gate: duplicates never
+                            // reach insert() (count-based activation would
+                            // double-fire on a duplicate input).
+                            if !rt.fabric.rx_accept(r, from, seq) {
+                                continue;
+                            }
+                            let decoded = (|| -> Result<_, ttg_comm::WireError> {
+                                let mut rd = ReadBuf::new(&payload);
+                                let from_task = rd.get_u64()?;
+                                let class = rd.get_u32()? as usize;
+                                let key = K::decode(&mut rd)?;
+                                let bytes = rd.remaining() as u64;
+                                let v = V::decode(&mut rd)?;
+                                Ok((from_task, class, key, bytes, v))
+                            })();
+                            match decoded {
+                                Ok((from_task, class, key, bytes, v)) => {
+                                    rt.insert(
+                                        class,
+                                        r,
+                                        key,
+                                        v,
+                                        Dep {
+                                            from_task,
+                                            bytes,
+                                            src_rank: from,
+                                            msg: 0,
+                                        },
+                                    );
+                                }
+                                Err(e) => {
+                                    rt.fabric.record_error(ttg_comm::CommError {
+                                        kind: ttg_comm::CommErrorKind::DeliveryFailed,
+                                        from: Some(from),
+                                        to: Some(r),
+                                        handler: Some(handler),
+                                        seq: (seq != 0).then_some(seq),
+                                        detail: e.to_string(),
+                                    });
+                                }
+                            }
                             rt.fabric.packet_processed();
                         }
                         Packet::Shutdown => break,
@@ -336,6 +378,7 @@ impl<K: Key, V: Data> PtgRuntime<K, V> {
             tasks: self.inner.tasks_run.load(Ordering::Relaxed),
             trace: self.inner.trace.as_ref().map(|t| t.take()),
             telemetry: self.inner.fabric.telemetry().snapshot(),
+            comm_errors: self.inner.fabric.take_errors(),
         }
     }
 }

@@ -17,6 +17,7 @@ fn run(backend: ttg_core::BackendSpec) -> u64 {
         backend,
         trace: false,
         priorities: true,
+        faults: None,
     };
     let (_l, report) = chol::run(&a, &cfg);
     report.comm.data_copies

@@ -18,6 +18,7 @@ fn run(priorities: bool) -> u64 {
         backend: ttg_parsec::backend(),
         trace: false,
         priorities,
+        faults: None,
     };
     let (_l, report) = chol::run(&a, &cfg);
     report.elapsed.as_nanos() as u64

@@ -1,0 +1,194 @@
+//! Chaos overhead benchmark: tiled Cholesky over the in-process fabric
+//! with seeded packet loss, sweeping the drop probability while the
+//! reliable-delivery layer (sequence numbers, dedup window, ack/retransmit
+//! with exponential backoff — DESIGN §8) restores exactly-once logical
+//! delivery.
+//!
+//! Two questions, one sweep:
+//!
+//! * **Cost of reliability when nothing fails** — the `drop=0` row runs the
+//!   full sequencing/ack machinery against a perfect network; comparing it
+//!   to the fault-free fast path (`plan=none`) isolates the protocol tax.
+//! * **Cost under loss** — rows at 2/5/10 % drop show how retransmission
+//!   latency (and the retry backoff schedule) stretches the makespan.
+//!
+//! Every chaotic run is verified against the fault-free factor
+//! (bit-identical tiles, no comm errors, no stuck keys), so the numbers are
+//! for *correct* executions only. Emits `results/bench_chaos.json` with a
+//! row per drop rate plus the injection counters. Run with `--smoke` for
+//! CI-sized samples, `--out <path>` to redirect the JSON.
+
+use std::time::Duration;
+
+use criterion::{Criterion, Summary};
+use ttg_apps::cholesky::ttg as chol;
+use ttg_comm::{FaultPlan, RetryPolicy};
+use ttg_core::ExecReport;
+use ttg_linalg::TiledMatrix;
+
+/// Drop probabilities swept (0 = reliable layer on, lossless link).
+const DROPS: [f64; 4] = [0.0, 0.02, 0.05, 0.10];
+
+/// Seed for both the SPD matrix and the fault plans: fixed so every row of
+/// every invocation measures the same packet fate sequence.
+const SEED: u64 = 42;
+
+struct Config {
+    smoke: bool,
+    out: String,
+    nt: usize,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let mut smoke = false;
+        let mut out = String::from("results/bench_chaos.json");
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--smoke" => smoke = true,
+                "--out" => out = args.next().expect("--out needs a path"),
+                other => {
+                    eprintln!("unknown flag {other}; known: --smoke, --out <path>");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Config {
+            smoke,
+            out,
+            nt: if smoke { 6 } else { 10 },
+        }
+    }
+
+    fn criterion(&self) -> Criterion {
+        if self.smoke {
+            Criterion::default()
+                .sample_size(2)
+                .warm_up_time(Duration::from_millis(5))
+                .measurement_time(Duration::from_millis(40))
+        } else {
+            Criterion::default()
+                .sample_size(10)
+                .warm_up_time(Duration::from_millis(200))
+                .measurement_time(Duration::from_millis(1500))
+        }
+    }
+}
+
+/// A tight retry policy: the default schedule is tuned for interactive
+/// latitude, not benchmarks, and would let a single unlucky retransmit
+/// chain dominate a smoke-sized sample.
+fn retry() -> RetryPolicy {
+    RetryPolicy {
+        base: Duration::from_micros(100),
+        cap: Duration::from_millis(2),
+        max_retries: 16,
+    }
+}
+
+fn plan(drop: f64) -> Option<FaultPlan> {
+    Some(FaultPlan::seeded(SEED).with_drop(drop).with_retry(retry()))
+}
+
+fn run(a: &TiledMatrix, faults: Option<FaultPlan>) -> (TiledMatrix, ExecReport) {
+    let cfg = chol::Config {
+        ranks: 4,
+        workers: 2,
+        backend: ttg_parsec::backend(),
+        trace: false,
+        priorities: true,
+        faults,
+    };
+    chol::run(a, &cfg)
+}
+
+fn json_row(s: &Summary, drop: f64, r: &ExecReport, overhead: f64) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"drop\":{},\"mean_ns\":{:.1},\"min_ns\":{:.1},\
+         \"max_ns\":{:.1},\"samples\":{},\"iters\":{},\"overhead\":{:.4},\
+         \"am_count\":{},\"am_retries\":{},\"am_dropped_injected\":{},\
+         \"am_dedup_hits\":{},\"am_retry_exhausted\":{}}}",
+        s.label,
+        drop,
+        s.mean_ns,
+        s.min_ns,
+        s.max_ns,
+        s.samples,
+        s.iters,
+        overhead,
+        r.comm.am_count,
+        r.comm.am_retries,
+        r.comm.am_dropped_injected,
+        r.comm.am_dedup_hits,
+        r.comm.am_retry_exhausted,
+    )
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let mut c = cfg.criterion();
+    let a = TiledMatrix::random_spd(cfg.nt, 32, SEED);
+    println!(
+        "bench_chaos ({} mode, {}×{} tiles of 32², 4 ranks × 2 workers)",
+        if cfg.smoke { "smoke" } else { "full" },
+        cfg.nt,
+        cfg.nt
+    );
+
+    // Reference: the fault-free fast path (no sequencing, no acks).
+    let (l_clean, _) = run(&a, None);
+    let base = c.bench_summary("chaos/plan=none".to_string(), None, |b| {
+        b.iter(|| run(&a, None).1.tasks)
+    });
+    let base_mean = base.mean_ns;
+    let mut rows = vec![format!(
+        "{{\"name\":\"{}\",\"drop\":-1,\"mean_ns\":{:.1},\"min_ns\":{:.1},\
+         \"max_ns\":{:.1},\"samples\":{},\"iters\":{},\"overhead\":0.0}}",
+        base.label, base.mean_ns, base.min_ns, base.max_ns, base.samples, base.iters,
+    )];
+
+    for &drop in &DROPS {
+        let summary = c.bench_summary(format!("chaos/drop={drop}"), None, |b| {
+            b.iter(|| run(&a, plan(drop)).1.tasks)
+        });
+        let (l, report) = run(&a, plan(drop));
+        assert_eq!(
+            l.max_abs_diff(&l_clean),
+            0.0,
+            "drop={drop}: chaos changed the factor"
+        );
+        assert!(
+            report.comm_errors.is_empty(),
+            "drop={drop}: {:?}",
+            report.comm_errors
+        );
+        assert!(report.stuck.is_empty(), "drop={drop}: stuck keys");
+        let overhead = summary.mean_ns / base_mean - 1.0;
+        println!(
+            "  drop={drop}: {:.2} ms ({:+.1}% vs fast path), retries={}, dedup_hits={}",
+            summary.mean_ns / 1e6,
+            overhead * 100.0,
+            report.comm.am_retries,
+            report.comm.am_dedup_hits,
+        );
+        rows.push(json_row(&summary, drop, &report, overhead));
+    }
+
+    let doc = format!(
+        "{{\"benchmark\":\"bench_chaos\",\"smoke\":{},\"seed\":{},\"nt\":{},\
+         \"results\":[{}]}}",
+        cfg.smoke,
+        SEED,
+        cfg.nt,
+        rows.join(","),
+    );
+    debug_assert!(ttg_telemetry::json::validate(&doc).is_ok());
+    if let Some(dir) = std::path::Path::new(&cfg.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(&cfg.out, &doc).expect("write bench json");
+    println!("wrote {} ({} rows)", cfg.out, rows.len());
+}

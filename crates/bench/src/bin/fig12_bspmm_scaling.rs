@@ -53,6 +53,7 @@ fn main() {
                 backend: backend.clone(),
                 trace: true,
                 drop_tol: 1e-8,
+                faults: None,
             };
             let (c, report) = bspmm_ttg::run(a, a, &cfg);
             assert!(c.max_abs_diff(&expect) < 1e-9);

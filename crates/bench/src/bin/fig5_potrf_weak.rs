@@ -128,6 +128,7 @@ fn main() {
                 backend: backend.clone(),
                 trace: true,
                 priorities: true,
+                faults: None,
             };
             let (l, report) = chol_ttg::run(&a, &cfg);
             assert!(cholesky::residual(&a, &l) < 1e-8);

@@ -44,7 +44,7 @@ pub mod sanitize;
 pub mod verify;
 
 pub use report::{Diagnostic, Report, Severity};
-pub use sanitize::{report_from_exec, stuck_diagnostic, violation_diagnostic};
+pub use sanitize::{comm_diagnostic, report_from_exec, stuck_diagnostic, violation_diagnostic};
 pub use verify::verify;
 
 /// Default location of the exported JSON report.

@@ -4,7 +4,7 @@
 //! termination-time matching-table sweep) into the same coded diagnostics
 //! the static verifier emits.
 
-use ttg_core::{ExecReport, StuckEntry, Violation};
+use ttg_core::{CommError, CommErrorKind, ExecReport, StuckEntry, Violation};
 
 use crate::report::{Diagnostic, Report};
 
@@ -93,11 +93,45 @@ pub fn stuck_diagnostic(s: &StuckEntry) -> Diagnostic {
     d
 }
 
+/// Diagnostic `TTG040`–`TTG044` for one structured communication failure
+/// (see DESIGN §8): retry-budget exhaustion and deadline misses are hard
+/// errors (data was lost or the run gave up); a post-shutdown send on a
+/// closed channel is only a warning (expected during teardown races).
+pub fn comm_diagnostic(e: &CommError) -> Diagnostic {
+    let mut d = match e.kind {
+        CommErrorKind::ChannelClosed => Diagnostic::warning(e.code(), e.to_string()),
+        _ => Diagnostic::error(e.code(), e.to_string()),
+    };
+    if let Some(to) = e.to {
+        d = d.on_rank(to);
+    }
+    d = match e.kind {
+        CommErrorKind::RetryBudgetExhausted => d.with_help(
+            "a message exhausted its retransmission budget — the destination \
+             rank is dead or the link loss rate exceeds what the retry policy \
+             can absorb; raise `retries=`/`rto_us=` in the fault spec or fix \
+             the dead rank",
+        ),
+        CommErrorKind::DeadlineMissed => d.with_help(
+            "the execution did not reach quiescence within its delivery \
+             deadline; inspect comm_errors and the stuck-key report for the \
+             blocked messages",
+        ),
+        CommErrorKind::ChannelClosed => d.with_help(
+            "a send raced the destination rank's shutdown; harmless during \
+             teardown, a bug if it appears mid-run",
+        ),
+        _ => d,
+    };
+    d
+}
+
 /// Convert an execution's runtime findings into a coded [`Report`].
 ///
-/// Empty `violations` and `stuck` produce a clean report. Violations keep
-/// their [`Violation::code`]s (TTG02x, TTG031); each stuck key becomes a
-/// `TTG030` error.
+/// Empty `violations`, `stuck`, and `comm_errors` produce a clean report.
+/// Violations keep their [`Violation::code`]s (TTG02x, TTG031); each stuck
+/// key becomes a `TTG030` error; communication failures become
+/// `TTG040`–`TTG044` diagnostics.
 pub fn report_from_exec(exec: &ExecReport) -> Report {
     let mut report = Report::new(exec.per_node.len(), 0);
     for v in &exec.violations {
@@ -106,5 +140,56 @@ pub fn report_from_exec(exec: &ExecReport) -> Report {
     for s in &exec.stuck {
         report.push(stuck_diagnostic(s));
     }
+    for e in &exec.comm_errors {
+        report.push(comm_diagnostic(e));
+    }
     report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Severity;
+
+    fn err(kind: CommErrorKind) -> CommError {
+        CommError {
+            kind,
+            from: Some(0),
+            to: Some(1),
+            handler: Some(7),
+            seq: Some(42),
+            detail: "test".into(),
+        }
+    }
+
+    #[test]
+    fn comm_error_codes_map_to_ttg04x() {
+        let cases = [
+            (CommErrorKind::RetryBudgetExhausted, "TTG040"),
+            (CommErrorKind::DeadlineMissed, "TTG041"),
+            (CommErrorKind::ChannelClosed, "TTG042"),
+            (CommErrorKind::DeliveryFailed, "TTG043"),
+            (CommErrorKind::UnknownRegion, "TTG044"),
+        ];
+        for (kind, code) in cases {
+            let d = comm_diagnostic(&err(kind));
+            assert_eq!(d.code, code);
+        }
+    }
+
+    #[test]
+    fn channel_closed_is_warning_rest_are_errors() {
+        assert_eq!(
+            comm_diagnostic(&err(CommErrorKind::ChannelClosed)).severity,
+            Severity::Warning
+        );
+        assert_eq!(
+            comm_diagnostic(&err(CommErrorKind::RetryBudgetExhausted)).severity,
+            Severity::Error
+        );
+        assert_eq!(
+            comm_diagnostic(&err(CommErrorKind::DeadlineMissed)).severity,
+            Severity::Error
+        );
+    }
 }

@@ -10,19 +10,32 @@
 //! * [`pool`] — a bounded free-list that recycles hot-path wire buffers
 //!   instead of reallocating one per message;
 //! * [`fabric`] — an in-process fabric of logical ranks with active
-//!   messages, emulated one-sided RMA, barriers, and traffic counters.
+//!   messages, emulated one-sided RMA, barriers, and traffic counters;
+//! * [`fault`] — seeded, deterministic fault injection ([`FaultPlan`]):
+//!   per-link drop/duplicate/reorder/delay probabilities and scripted rank
+//!   deaths, parseable from a `--faults seed=K,drop=p` CLI spec;
+//! * [`reliable`] — the reliable-delivery protocol run under a fault plan:
+//!   per-link sequence numbers, receive-side dedup windows, ack +
+//!   exponential-backoff retransmit with a bounded retry budget.
 //!
 //! The fabric replaces MPI + InfiniBand from the paper's testbeds; see
-//! `DESIGN.md` for the substitution argument.
+//! `DESIGN.md` for the substitution argument and §8 for the fault model.
 
 #![warn(missing_docs)]
 
 pub mod buf;
 pub mod fabric;
+pub mod fault;
 pub mod pool;
+pub mod reliable;
 pub mod wire;
 
 pub use buf::{ReadBuf, WireError, WriteBuf};
-pub use fabric::{Fabric, FabricStats, Packet, Rank, RegionId, StatsSnapshot};
+pub use fabric::{
+    CommError, CommErrorKind, Fabric, FabricStats, Packet, Rank, RegionId, RmaError, SendError,
+    StatsSnapshot,
+};
+pub use fault::{FaultPlan, KillScript, RetryPolicy};
 pub use pool::{pool_stats, PoolStats};
+pub use reliable::SeqWindow;
 pub use wire::{bytes_to_f64s, f64s_to_bytes, from_bytes, to_bytes, Wire, WireKind};

@@ -257,7 +257,9 @@ impl<K: Key, V: Data> PortImpl<K, V> {
             k.encode(&mut b);
         }
         b.put_bytes(value_bytes);
-        ctx.fabric.send_am(src_rank, dest, node.id, b.into_vec());
+        if let Err(e) = ctx.fabric.send_am(src_rank, dest, node.id, b.into_vec()) {
+            ctx.fabric.record_error(e.into());
+        }
     }
 }
 
@@ -333,7 +335,9 @@ impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
                         k.encode(&mut b);
                     }
                     v.get().split_encode_md(&mut b);
-                    ctx.fabric.send_am(src_rank, *dest, node.id, b.into_vec());
+                    if let Err(e) = ctx.fabric.send_am(src_rank, *dest, node.id, b.into_vec()) {
+                        ctx.fabric.record_error(e.into());
+                    }
                 }
                 if sends_saved > 0 {
                     ctx.fabric
@@ -420,7 +424,9 @@ pub(crate) fn port_set_stream_size<K: Key>(
         am_header(&mut b, 0, MSG_SET_SIZE, terminal);
         k.encode(&mut b);
         b.put_u64(n as u64);
-        ctx.fabric.send_am(src_rank, owner, node.id, b.into_vec());
+        if let Err(e) = ctx.fabric.send_am(src_rank, owner, node.id, b.into_vec()) {
+            ctx.fabric.record_error(e.into());
+        }
     }
 }
 
@@ -439,7 +445,9 @@ pub(crate) fn port_finalize<K: Key>(
         let mut b = WriteBuf::pooled(11 + k.wire_size());
         am_header(&mut b, 0, MSG_FINALIZE, terminal);
         k.encode(&mut b);
-        ctx.fabric.send_am(src_rank, owner, node.id, b.into_vec());
+        if let Err(e) = ctx.fabric.send_am(src_rank, owner, node.id, b.into_vec()) {
+            ctx.fabric.record_error(e.into());
+        }
     }
 }
 

@@ -3,11 +3,16 @@
 //! The executor stands in for the paper's SPMD launch: it creates the
 //! fabric, one worker pool and one communication thread per rank, attaches
 //! the graph, accepts seed messages, and waits for global quiescence.
+//!
+//! Communication failures never panic the process: delivery errors become
+//! structured [`CommError`] records in the [`ExecReport`], and a configurable
+//! delivery deadline converts a dead link into a reported per-rank failure
+//! instead of an unbounded hang (see DESIGN §8).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ttg_comm::{Fabric, Packet, StatsSnapshot};
+use ttg_comm::{CommError, CommErrorKind, Fabric, FaultPlan, Packet, StatsSnapshot};
 use ttg_runtime::WorkerPool;
 
 use crate::backend::BackendSpec;
@@ -26,6 +31,12 @@ pub struct ExecConfig {
     pub backend: BackendSpec,
     /// Record a task/dependency trace for simnet projection.
     pub trace: bool,
+    /// Fault-injection plan installed on the fabric (chaos testing).
+    pub faults: Option<FaultPlan>,
+    /// Abort the wait for quiescence after this long and report a
+    /// `DeadlineMissed` comm error instead of hanging. Defaults to 30 s
+    /// when a fault plan is installed, unlimited otherwise.
+    pub delivery_deadline: Option<Duration>,
 }
 
 impl ExecConfig {
@@ -37,6 +48,8 @@ impl ExecConfig {
             workers_per_rank: workers,
             backend: BackendSpec::default_spec(),
             trace: false,
+            faults: None,
+            delivery_deadline: None,
         }
     }
 
@@ -47,12 +60,30 @@ impl ExecConfig {
             workers_per_rank: workers,
             backend,
             trace: false,
+            faults: None,
+            delivery_deadline: None,
         }
     }
 
     /// Enable trace recording.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Install a fault-injection plan (enables reliable delivery and, if
+    /// no deadline was set, a 30 s delivery deadline).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        if self.delivery_deadline.is_none() {
+            self.delivery_deadline = Some(Duration::from_secs(30));
+        }
+        self
+    }
+
+    /// Set the delivery deadline explicitly.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.delivery_deadline = Some(deadline);
         self
     }
 }
@@ -80,6 +111,10 @@ pub struct ExecReport {
     /// the stuck-key deadlock report. Non-empty means some tasks could
     /// never fire — the structured form of a silent hang.
     pub stuck: Vec<crate::inspect::StuckEntry>,
+    /// Structured communication failures recorded during the run: retry
+    /// budgets exhausted on dead links, post-shutdown sends, delivery
+    /// errors, deadline misses. Empty on a healthy run.
+    pub comm_errors: Vec<CommError>,
 }
 
 /// A running TTG execution.
@@ -87,13 +122,14 @@ pub struct Executor {
     ctx: Arc<RuntimeCtx>,
     graph: Graph,
     comm_threads: Vec<std::thread::JoinHandle<()>>,
+    deadline: Option<Duration>,
     started: Instant,
 }
 
 impl Executor {
     /// Start pools and communication threads for `graph`.
     pub fn new(graph: Graph, cfg: ExecConfig) -> Self {
-        let fabric = Fabric::new(cfg.ranks);
+        let fabric = Fabric::with_faults(cfg.ranks, cfg.faults.clone());
         let ctx = RuntimeCtx::new(Arc::clone(&fabric), cfg.backend.clone(), cfg.trace);
 
         let pools: Vec<WorkerPool> = (0..cfg.ranks)
@@ -130,13 +166,32 @@ impl Executor {
                         while let Ok(pkt) = rx.recv() {
                             match pkt {
                                 Packet::Am {
-                                    handler, payload, ..
+                                    handler,
+                                    from,
+                                    seq,
+                                    payload,
                                 } => {
-                                    ctx2.node(handler)
-                                        .deliver_am(r, &payload, &ctx2)
-                                        .unwrap_or_else(|e| {
-                                            panic!("AM delivery failed on rank {r}: {e}")
+                                    // Reliable-delivery gate: duplicates
+                                    // (injected, retransmitted, reordered
+                                    // strays) are discarded here and never
+                                    // reach a task — nor the logical
+                                    // in-flight count.
+                                    if !ctx2.fabric.rx_accept(r, from, seq) {
+                                        ttg_comm::pool::recycle(payload);
+                                        continue;
+                                    }
+                                    if let Err(e) =
+                                        ctx2.node(handler).deliver_am(r, &payload, &ctx2)
+                                    {
+                                        ctx2.fabric.record_error(CommError {
+                                            kind: CommErrorKind::DeliveryFailed,
+                                            from: (from != usize::MAX).then_some(from),
+                                            to: Some(r),
+                                            handler: Some(handler),
+                                            seq: (seq != 0).then_some(seq),
+                                            detail: e.to_string(),
                                         });
+                                    }
                                     ctx2.fabric.packet_processed();
                                     // Hand the AM buffer back to the wire
                                     // buffer pool for the next send.
@@ -154,6 +209,7 @@ impl Executor {
             ctx,
             graph,
             comm_threads,
+            deadline: cfg.delivery_deadline,
             started: Instant::now(),
         }
     }
@@ -176,11 +232,34 @@ impl Executor {
 
     /// Block until the execution is globally quiescent: no task running or
     /// queued on any rank and no message in flight.
+    ///
+    /// If a delivery deadline is configured and passes first, the wait
+    /// gives up, records a structured `DeadlineMissed` [`CommError`] on
+    /// the fabric, and returns — degraded, not hung.
     pub fn wait(&self) {
+        let give_up = self.deadline.map(|d| Instant::now() + d);
         loop {
             if self.ctx.fabric.packets_in_flight() == 0 && self.ctx.quiescence.is_quiescent() {
                 // Confirm: no packet appeared while probing the pools.
                 if self.ctx.fabric.packets_in_flight() == 0 && self.ctx.quiescence.is_quiescent() {
+                    return;
+                }
+            }
+            if let Some(t) = give_up {
+                if Instant::now() >= t {
+                    self.ctx.fabric.count_deadline_miss();
+                    self.ctx.fabric.record_error(CommError {
+                        kind: CommErrorKind::DeadlineMissed,
+                        from: None,
+                        to: None,
+                        handler: None,
+                        seq: None,
+                        detail: format!(
+                            "no quiescence within {:?} ({} packets in flight)",
+                            self.deadline.unwrap(),
+                            self.ctx.fabric.packets_in_flight()
+                        ),
+                    });
                     return;
                 }
             }
@@ -224,6 +303,7 @@ impl Executor {
             telemetry: self.ctx.fabric.telemetry().snapshot(),
             violations: self.ctx.sanitizer.take(),
             stuck,
+            comm_errors: self.ctx.fabric.take_errors(),
         }
     }
 }

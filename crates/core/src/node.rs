@@ -875,8 +875,13 @@ impl<K: Key> AnyNode for NodeInner<K> {
                     keys.push(K::decode(&mut r)?);
                 }
                 let md_bytes = r.remaining() as u64;
-                // Stage 2 of splitmd: one-sided fetch of the payload.
-                let data = ctx.fabric.rma_get(rank, owner, region);
+                // Stage 2 of splitmd: one-sided fetch of the payload. A
+                // missing region is a structured wire error (surfaced as a
+                // CommError by the comm thread), not a process abort.
+                let data = ctx
+                    .fabric
+                    .rma_get(rank, owner, region)
+                    .map_err(|e| WireError::new(e.to_string()))?;
                 let meta = self.meta(terminal);
                 let first = (meta.decode_splitmd)(&mut r, &data)?;
                 let bytes = md_bytes + data.len() as u64;

@@ -173,6 +173,14 @@ impl SafraRing {
     /// Drive the ring until rank 0 detects termination, given a predicate
     /// telling whether each rank is currently passive. Intended for tests
     /// and single-threaded replay; returns the number of token hops used.
+    ///
+    /// Panics on stall — use [`drive_bounded`](Self::drive_bounded), which
+    /// returns a structured [`SafraStall`] report instead. This helper
+    /// survives only so tests can assert the legacy panic behavior.
+    #[deprecated(
+        since = "0.1.0",
+        note = "panics on stall; use drive_bounded and handle SafraStall"
+    )]
     pub fn drive_to_termination(&self, passive: impl Fn(usize) -> bool) -> usize {
         match self.drive_bounded(passive, 1_000_000) {
             Ok(hops) => hops,
@@ -279,10 +287,22 @@ mod tests {
     #[test]
     fn detects_immediately_when_nothing_happened() {
         let ring = SafraRing::new(4);
-        let hops = ring.drive_to_termination(|_| true);
+        let hops = ring.drive_bounded(|_| true, 1000).expect("terminates");
         // One full white round suffices (plus possibly one bootstrap round).
         assert!(ring.rank(0).terminated());
         assert!(hops <= 8, "took {hops} hops");
+    }
+
+    #[test]
+    fn deprecated_drive_still_works_for_legacy_callers() {
+        // The panicking helper survives as a deprecated shim over
+        // drive_bounded; keep its happy path covered until removal.
+        #[allow(deprecated)]
+        {
+            let ring = SafraRing::new(4);
+            ring.drive_to_termination(|_| true);
+            assert!(ring.rank(0).terminated());
+        }
     }
 
     #[test]
@@ -301,7 +321,7 @@ mod tests {
         assert!(!ring.rank(0).terminated());
         // Deliver the message; now detection must occur.
         ring.rank(2).on_receive();
-        ring.drive_to_termination(|_| true);
+        ring.drive_bounded(|_| true, 1000).expect("terminates");
         assert!(ring.rank(0).terminated());
     }
 
@@ -312,7 +332,7 @@ mod tests {
         ring.rank(1).on_receive();
         // Counts balance (0 net) but rank 1 is black: the first probe must
         // be inconclusive; a later all-white probe succeeds.
-        ring.drive_to_termination(|_| true);
+        ring.drive_bounded(|_| true, 1000).expect("terminates");
         assert!(ring.rank(0).terminated());
     }
 
@@ -379,7 +399,7 @@ mod tests {
             ring.rank(r).on_send();
             ring.rank((r + 1) % n).on_receive();
         }
-        ring.drive_to_termination(|_| true);
+        ring.drive_bounded(|_| true, 1000).expect("terminates");
         assert!(ring.rank(0).terminated());
     }
 }

@@ -66,6 +66,65 @@ pub struct SimResult {
     pub utilization: f64,
     /// Tasks simulated.
     pub tasks: usize,
+    /// Retransmissions modelled by [`NetFaults`] (0 on a perfect network).
+    pub retransmits: u64,
+}
+
+/// Network-fault model for projection: each inter-node transfer is
+/// independently lost with probability `drop` and retried after an `rto_ns`
+/// timeout, up to `max_retries` times — the DES analog of the fabric's
+/// reliable-delivery layer, mirroring the simulated-environment methodology
+/// of Beránek et al. (arXiv:2204.07211).
+///
+/// Loss decisions are a pure hash of `(seed, transfer ordinal, attempt)`,
+/// so a projection is exactly reproducible for a given seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFaults {
+    /// Hash seed.
+    pub seed: u64,
+    /// Per-attempt loss probability in [0, 1).
+    pub drop: f64,
+    /// Retransmission timeout added per lost attempt.
+    pub rto_ns: u64,
+    /// Attempts beyond the first before the transfer is forced through
+    /// (the runtime would surface a `CommError` past this point; the
+    /// projection keeps the DAG runnable and just stops adding timeouts).
+    pub max_retries: u32,
+}
+
+impl NetFaults {
+    /// A fault model with the fabric's default retry shape.
+    pub fn seeded(seed: u64, drop: f64, rto_ns: u64) -> Self {
+        assert!((0.0..1.0).contains(&drop), "drop must be in [0, 1)");
+        NetFaults {
+            seed,
+            drop,
+            rto_ns,
+            max_retries: 12,
+        }
+    }
+
+    /// Deterministic number of lost attempts for transfer `ordinal`
+    /// (geometric in `drop`, capped at `max_retries`).
+    fn lost_attempts(&self, ordinal: u64) -> u32 {
+        let mut lost = 0;
+        while lost < self.max_retries {
+            // splitmix64 over (seed, ordinal, attempt) → uniform [0,1).
+            let mut z = self
+                .seed
+                .wrapping_add(ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add((lost as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+            if u >= self.drop {
+                break;
+            }
+            lost += 1;
+        }
+        lost
+    }
 }
 
 impl SimResult {
@@ -90,6 +149,17 @@ const EV_READY: u8 = 1;
 /// Simulate `tasks` on `machine`. Ranks in the trace are mapped onto nodes
 /// by `rank % machine.nodes`.
 pub fn simulate(tasks: &[TraceTask], machine: &MachineModel) -> SimResult {
+    simulate_faulty(tasks, machine, None)
+}
+
+/// Like [`simulate`], but each inter-node transfer is subject to `faults`:
+/// lost attempts add retransmission timeouts to the transfer's completion
+/// and occupy the NICs again for the repeated wire time.
+pub fn simulate_faulty(
+    tasks: &[TraceTask],
+    machine: &MachineModel,
+    faults: Option<NetFaults>,
+) -> SimResult {
     assert!(machine.nodes > 0 && machine.cores_per_node > 0);
     let node_of = |rank: usize| rank % machine.nodes;
 
@@ -138,6 +208,7 @@ pub fn simulate(tasks: &[TraceTask], machine: &MachineModel) -> SimResult {
     let mut makespan = 0u64;
     let mut network_bytes = 0u64;
     let mut network_msgs = 0u64;
+    let mut retransmits = 0u64;
     // Arrival cache for shared transfers (optimized broadcast: several
     // consumers piggyback on one AM).
     let mut shared_arrivals: HashMap<u64, u64> = HashMap::new();
@@ -180,7 +251,16 @@ pub fn simulate(tasks: &[TraceTask], machine: &MachineModel) -> SimResult {
                             shared_arrivals[&msg]
                         } else {
                             let begin = done_at.max(nic_out[src_node]).max(nic_in[dst_node]);
-                            let dur = machine.transfer_ns(bytes);
+                            let mut dur = machine.transfer_ns(bytes);
+                            if let Some(nf) = &faults {
+                                let lost = nf.lost_attempts(network_msgs);
+                                if lost > 0 {
+                                    retransmits += lost as u64;
+                                    // Each lost attempt burns its wire time
+                                    // plus the retransmission timeout.
+                                    dur += lost as u64 * (machine.transfer_ns(bytes) + nf.rto_ns);
+                                }
+                            }
                             let end = begin + dur;
                             nic_out[src_node] = end;
                             nic_in[dst_node] = end;
@@ -222,6 +302,7 @@ pub fn simulate(tasks: &[TraceTask], machine: &MachineModel) -> SimResult {
             0.0
         },
         tasks: tasks.len(),
+        retransmits,
     }
 }
 
@@ -419,5 +500,45 @@ mod tests {
         let r = simulate(&tasks, &machine(4, 1));
         assert_eq!(r.network_msgs, 0);
         assert_eq!(r.makespan_ns, 50);
+    }
+
+    #[test]
+    fn faulty_network_slows_but_never_changes_the_dag() {
+        let tasks = chain(20, 100, 1000, true);
+        let m = machine(2, 2);
+        let clean = simulate(&tasks, &m);
+        let faulty = simulate_faulty(&tasks, &m, Some(NetFaults::seeded(7, 0.4, 5_000)));
+        assert_eq!(faulty.tasks, clean.tasks);
+        assert_eq!(faulty.network_msgs, clean.network_msgs);
+        assert_eq!(faulty.network_bytes, clean.network_bytes);
+        assert!(faulty.retransmits > 0, "40% drop must cost retransmits");
+        assert!(
+            faulty.makespan_ns > clean.makespan_ns,
+            "retransmits must inflate the projection ({} <= {})",
+            faulty.makespan_ns,
+            clean.makespan_ns
+        );
+        assert_eq!(clean.retransmits, 0);
+    }
+
+    #[test]
+    fn fault_projection_is_deterministic_per_seed() {
+        let tasks = chain(30, 50, 500, true);
+        let m = machine(2, 2);
+        let a = simulate_faulty(&tasks, &m, Some(NetFaults::seeded(9, 0.3, 2_000)));
+        let b = simulate_faulty(&tasks, &m, Some(NetFaults::seeded(9, 0.3, 2_000)));
+        assert_eq!(a, b);
+        let c = simulate_faulty(&tasks, &m, Some(NetFaults::seeded(10, 0.3, 2_000)));
+        // A different seed almost surely lands on a different schedule.
+        assert_ne!(a.makespan_ns, c.makespan_ns);
+    }
+
+    #[test]
+    fn zero_drop_faults_match_clean_projection() {
+        let tasks = chain(10, 100, 1000, true);
+        let m = machine(2, 2);
+        let clean = simulate(&tasks, &m);
+        let nofault = simulate_faulty(&tasks, &m, Some(NetFaults::seeded(1, 0.0, 5_000)));
+        assert_eq!(clean, nofault);
     }
 }

@@ -18,5 +18,5 @@
 pub mod des;
 pub mod machines;
 
-pub use des::{from_core_trace, simulate, SimResult, TraceTask};
+pub use des::{from_core_trace, simulate, simulate_faulty, NetFaults, SimResult, TraceTask};
 pub use machines::MachineModel;

@@ -36,6 +36,7 @@ fn main() {
         backend: ttg::parsec::backend(),
         trace: false,
         drop_tol: 1e-8,
+        faults: None,
     };
     let (c, report) = bspmm::run(a, a, &cfg);
 

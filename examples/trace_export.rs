@@ -26,6 +26,7 @@ fn main() {
         backend: ttg::parsec::backend(),
         trace: true,
         priorities: true,
+        faults: None,
     };
     let (l, report) = chol::run(&a, &cfg);
     assert!(cholesky::residual(&a, &l) < 1e-8);

@@ -20,6 +20,7 @@ fn cholesky_all_implementations_agree() {
             backend,
             trace: false,
             priorities: true,
+            faults: None,
         };
         let (l, _) = cholesky::ttg::run(&a, &cfg);
         assert!(l.max_abs_diff(&reference) < 1e-9);
@@ -73,6 +74,7 @@ fn bspmm_all_implementations_agree() {
             backend,
             trace: false,
             drop_tol: 1e-8,
+            faults: None,
         };
         let (c, _) = bspmm::ttg::run(&a, &a, &cfg);
         assert!(c.max_abs_diff(&expect) < 1e-10);
@@ -124,6 +126,7 @@ fn projected_scaling_shapes_hold() {
         backend: ttg::parsec::backend(),
         trace: true,
         priorities: true,
+        faults: None,
     };
     let (_, report) = cholesky::ttg::run(&a, &cfg);
     let machine = MachineModel::hawk(nodes);
@@ -194,6 +197,7 @@ fn splitmd_only_on_parsec_backend() {
             backend,
             trace: false,
             priorities: false,
+            faults: None,
         };
         cholesky::ttg::run(&a, &cfg).1.comm
     };

@@ -283,6 +283,7 @@ fn bspmm_random_sparsity_matches_reference() {
             backend: ttg::parsec::backend(),
             trace: false,
             drop_tol: 0.0,
+            faults: None,
         };
         let (c, _) = ttg::apps::bspmm::ttg::run(&a, &a, &cfg);
         assert!(c.max_abs_diff(&expect) < 1e-10, "case {case}");

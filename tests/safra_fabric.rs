@@ -2,11 +2,16 @@
 //! token travels as real active messages between rank threads while the
 //! ranks exchange basic messages — the faithful distributed-memory
 //! protocol a multi-node port of the executor would use.
+//!
+//! The chaos variant runs the same protocol under 100% duplicate injection
+//! and shows Safra's message balance stays correct because the receive-side
+//! dedup window makes `on_receive` fire once per *logical* message: physical
+//! retransmits and duplicates never unbalance the count.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ttg::comm::{Fabric, Packet, ReadBuf, WriteBuf};
+use ttg::comm::{Fabric, FaultPlan, Packet, ReadBuf, WriteBuf};
 use ttg::runtime::{Color, SafraRank, Token};
 
 const AM_BASIC: u32 = 1;
@@ -31,10 +36,7 @@ fn decode_token(bytes: &[u8]) -> Token {
     }
 }
 
-#[test]
-fn safra_detects_termination_over_the_fabric() {
-    let n = 4;
-    let fabric = Fabric::new(n);
+fn run_ring(fabric: Arc<Fabric>, n: usize) -> u64 {
     let detected = Arc::new(AtomicBool::new(false));
     let processed = Arc::new(AtomicU64::new(0));
 
@@ -55,7 +57,9 @@ fn safra_detects_termination_over_the_fabric() {
                 if pending_work > 0 && !launched {
                     launched = true;
                     safra.on_send();
-                    fabric.send_am(rank, (rank + 1) % n, AM_BASIC, vec![12]);
+                    fabric
+                        .send_am(rank, (rank + 1) % n, AM_BASIC, vec![12])
+                        .unwrap();
                     pending_work = 0;
                 }
                 // Drain incoming packets.
@@ -65,7 +69,14 @@ fn safra_detects_termination_over_the_fabric() {
                             handler,
                             payload,
                             from,
+                            seq,
                         } => {
+                            // Reliable-delivery gate: under chaos, injected
+                            // duplicates are rejected here and never reach
+                            // Safra's logical message count.
+                            if !fabric.rx_accept(rank, from, seq) {
+                                continue;
+                            }
                             match handler {
                                 AM_BASIC => {
                                     safra.on_receive();
@@ -73,9 +84,10 @@ fn safra_detects_termination_over_the_fabric() {
                                     // Keep the wave alive for 12 hops.
                                     if hops < 12 {
                                         safra.on_send();
-                                        fabric.send_am(rank, (rank + 1) % n, AM_BASIC, vec![12]);
+                                        fabric
+                                            .send_am(rank, (rank + 1) % n, AM_BASIC, vec![12])
+                                            .unwrap();
                                     }
-                                    let _ = from;
                                 }
                                 AM_TOKEN => {
                                     safra.accept_token(decode_token(&payload));
@@ -90,7 +102,9 @@ fn safra_detects_termination_over_the_fabric() {
                 // Passive between packets: run the Safra rules; the token
                 // travels as a real active message.
                 if let Some((next, token)) = safra.try_forward(true) {
-                    fabric.send_am(rank, next, AM_TOKEN, encode_token(&token));
+                    fabric
+                        .send_am(rank, next, AM_TOKEN, encode_token(&token))
+                        .unwrap();
                 }
                 if rank == 0 && safra.terminated() {
                     detected.store(true, Ordering::SeqCst);
@@ -106,6 +120,30 @@ fn safra_detects_termination_over_the_fabric() {
         h.join().unwrap();
     }
     assert!(detected.load(Ordering::SeqCst));
+    processed.load(Ordering::SeqCst)
+}
+
+#[test]
+fn safra_detects_termination_over_the_fabric() {
+    let n = 4;
+    let fabric = Fabric::new(n);
+    let processed = run_ring(Arc::clone(&fabric), n);
     // Termination must not be declared before the wave finished.
-    assert!(processed.load(Ordering::SeqCst) >= 12);
+    assert!(processed >= 12);
+}
+
+#[test]
+fn safra_counts_logical_messages_under_duplication() {
+    // Every physical packet is duplicated; Safra still terminates with a
+    // balanced logical count because duplicates are rejected pre-delivery.
+    let n = 4;
+    let plan = FaultPlan::seeded(42).with_dup(1.0);
+    let fabric = Fabric::with_faults(n, Some(plan));
+    let processed = run_ring(Arc::clone(&fabric), n);
+    assert!(processed >= 12);
+    // Exactly 13 logical basic messages despite ~2x physical traffic.
+    assert_eq!(processed, 13);
+    let s = fabric.stats().snapshot();
+    assert!(s.am_dup_injected > 0, "duplication must have fired");
+    assert!(s.am_dedup_hits > 0, "duplicates must have been rejected");
 }
