@@ -30,6 +30,8 @@ pub struct Config {
     pub priorities: bool,
     /// Fault-injection plan for chaos testing (None = perfect network).
     pub faults: Option<FaultPlan>,
+    /// Link layer carrying inter-rank traffic (DESIGN §9).
+    pub transport: TransportSpec,
 }
 
 impl Config {
@@ -42,6 +44,7 @@ impl Config {
             trace: false,
             priorities: true,
             faults: None,
+            transport: TransportSpec::InProc,
         }
     }
 }
@@ -242,6 +245,7 @@ pub fn run(a: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
             trace: cfg.trace,
             faults: None,
             delivery_deadline: None,
+            transport: cfg.transport.clone(),
         };
         if let Some(plan) = cfg.faults.clone() {
             ec = ec.with_faults(plan);

@@ -215,6 +215,7 @@ pub fn run(m: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
             trace: cfg.trace,
             faults: None,
             delivery_deadline: None,
+            transport: TransportSpec::InProc,
         },
     );
     let seed = initiator.in_ref::<0>();

@@ -260,6 +260,7 @@ pub fn run(w: &Workload, cfg: &Config) -> MraResult {
             trace: cfg.trace,
             faults: None,
             delivery_deadline: None,
+            transport: TransportSpec::InProc,
         },
     );
     let seed = project.in_ref::<0>();

@@ -18,6 +18,7 @@ fn run(backend: ttg_core::BackendSpec) -> u64 {
         trace: false,
         priorities: true,
         faults: None,
+        transport: ttg_comm::TransportSpec::InProc,
     };
     let (_l, report) = chol::run(&a, &cfg);
     report.comm.data_copies

@@ -19,6 +19,7 @@ fn run(priorities: bool) -> u64 {
         trace: false,
         priorities,
         faults: None,
+        transport: ttg_comm::TransportSpec::InProc,
     };
     let (_l, report) = chol::run(&a, &cfg);
     report.elapsed.as_nanos() as u64

@@ -99,6 +99,7 @@ fn run(a: &TiledMatrix, faults: Option<FaultPlan>) -> (TiledMatrix, ExecReport) 
         trace: false,
         priorities: true,
         faults,
+        transport: ttg_comm::TransportSpec::InProc,
     };
     chol::run(a, &cfg)
 }

@@ -54,6 +54,7 @@ fn main() {
                 trace: true,
                 drop_tol: 1e-8,
                 faults: None,
+                transport: ttg_comm::TransportSpec::InProc,
             };
             let (c, report) = bspmm_ttg::run(a, a, &cfg);
             assert!(c.max_abs_diff(&expect) < 1e-9);

@@ -39,6 +39,7 @@ fn main() {
                 trace: true,
                 priorities: true,
                 faults: None,
+                transport: ttg_comm::TransportSpec::InProc,
             };
             let (l, report) = chol_ttg::run(&a, &cfg);
             assert!(cholesky::residual(&a, &l) < 1e-8);

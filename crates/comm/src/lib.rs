@@ -38,4 +38,7 @@ pub use fabric::{
 pub use fault::{FaultPlan, KillScript, RetryPolicy};
 pub use pool::{pool_stats, PoolStats};
 pub use reliable::SeqWindow;
+// Link-layer selection re-exported so executors and apps need no direct
+// ttg-transport dependency (DESIGN §9).
+pub use ttg_transport::{RemoteHandle, TransportError, TransportKind, TransportSpec};
 pub use wire::{bytes_to_f64s, f64s_to_bytes, from_bytes, to_bytes, Wire, WireKind};

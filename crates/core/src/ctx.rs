@@ -194,9 +194,24 @@ impl RuntimeCtx {
         self.fabric.num_ranks()
     }
 
+    /// Whether `rank`'s tasks run in this process. Always true on an
+    /// in-process fabric; on a multi-process rank only its own.
+    pub fn is_local(&self, rank: usize) -> bool {
+        self.fabric.local_rank().is_none_or(|me| me == rank)
+    }
+
     /// The worker pool of `rank`.
+    ///
+    /// A multi-process rank hosts exactly one pool (its own), so every
+    /// rank maps to it — callers always name ranks whose work is local,
+    /// which in that mode is only this one.
     pub fn pool(&self, rank: usize) -> &WorkerPool {
-        &self.pools.get().expect("executor not started")[rank]
+        let pools = self.pools.get().expect("executor not started");
+        if pools.len() == 1 {
+            &pools[0]
+        } else {
+            &pools[rank]
+        }
     }
 
     /// Allocate a globally unique task id (≥ 1; 0 means "external seed").

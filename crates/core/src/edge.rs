@@ -459,6 +459,12 @@ pub(crate) fn port_seed<K: Key, V: Data>(
     ctx: &Arc<RuntimeCtx>,
 ) {
     let owner = node.owner(&k, ctx.n_ranks());
+    // SPMD seeding: in a multi-process job every process runs the same
+    // seed loop, and each keeps only the keys its own rank owns — the
+    // other processes seed theirs themselves.
+    if !ctx.is_local(owner) {
+        return;
+    }
     node.insert(
         owner,
         terminal as usize,

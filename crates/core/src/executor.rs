@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ttg_comm::{CommError, CommErrorKind, Fabric, FaultPlan, Packet, StatsSnapshot};
+use ttg_comm::{CommError, CommErrorKind, Fabric, FaultPlan, Packet, StatsSnapshot, TransportSpec};
 use ttg_runtime::WorkerPool;
 
 use crate::backend::BackendSpec;
@@ -37,6 +37,10 @@ pub struct ExecConfig {
     /// `DeadlineMissed` comm error instead of hanging. Defaults to 30 s
     /// when a fault plan is installed, unlimited otherwise.
     pub delivery_deadline: Option<Duration>,
+    /// Link layer carrying inter-rank traffic: in-process channels
+    /// (default), a socket mesh (tcp/uds), or one rank of a multi-process
+    /// job (DESIGN §9).
+    pub transport: TransportSpec,
 }
 
 impl ExecConfig {
@@ -50,6 +54,7 @@ impl ExecConfig {
             trace: false,
             faults: None,
             delivery_deadline: None,
+            transport: TransportSpec::InProc,
         }
     }
 
@@ -62,6 +67,7 @@ impl ExecConfig {
             trace: false,
             faults: None,
             delivery_deadline: None,
+            transport: TransportSpec::InProc,
         }
     }
 
@@ -84,6 +90,12 @@ impl ExecConfig {
     /// Set the delivery deadline explicitly.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.delivery_deadline = Some(deadline);
+        self
+    }
+
+    /// Select the link layer (see [`TransportSpec`]).
+    pub fn with_transport(mut self, transport: TransportSpec) -> Self {
+        self.transport = transport;
         self
     }
 }
@@ -124,16 +136,31 @@ pub struct Executor {
     comm_threads: Vec<std::thread::JoinHandle<()>>,
     deadline: Option<Duration>,
     started: Instant,
+    /// Multi-process only: whether this rank has passed the start fence
+    /// (the barrier at the head of the first `wait`).
+    wait_fenced: std::sync::atomic::AtomicBool,
 }
 
 impl Executor {
     /// Start pools and communication threads for `graph`.
+    ///
+    /// Panics when the link layer cannot be brought up (socket bind or
+    /// mesh handshake failure) — a launch-time environment error, reported
+    /// with the structured transport diagnosis.
     pub fn new(graph: Graph, cfg: ExecConfig) -> Self {
-        let fabric = Fabric::with_faults(cfg.ranks, cfg.faults.clone());
+        let fabric = Fabric::with_transport(cfg.ranks, cfg.faults.clone(), &cfg.transport)
+            .unwrap_or_else(|e| panic!("transport bring-up failed: {e}"));
         let ctx = RuntimeCtx::new(Arc::clone(&fabric), cfg.backend.clone(), cfg.trace);
 
-        let pools: Vec<WorkerPool> = (0..cfg.ranks)
-            .map(|r| {
+        // A multi-process rank hosts only its own pool and comm thread;
+        // an in-process fabric hosts all of them.
+        let local_ranks: Vec<usize> = match fabric.local_rank() {
+            Some(me) => vec![me],
+            None => (0..cfg.ranks).collect(),
+        };
+        let pools: Vec<WorkerPool> = local_ranks
+            .iter()
+            .map(|&r| {
                 WorkerPool::with_telemetry(
                     cfg.workers_per_rank,
                     cfg.backend.scheduler,
@@ -145,6 +172,18 @@ impl Executor {
             .collect();
         ctx.pools.set(pools).ok().expect("pools set twice");
 
+        // Feed the distributed termination detector: a process is idle
+        // when its pools are quiescent (the in-flight packet check lives
+        // in the fabric). Captures only the quiescence tracker — never
+        // the fabric, which would leak a reference cycle.
+        if fabric.local_rank().is_some() {
+            let q = Arc::clone(&ctx.quiescence);
+            fabric.install_idle_probe(Box::new(move || match q.probe() {
+                Some(epoch) => (true, epoch),
+                None => (false, q.epoch()),
+            }));
+        }
+
         for node in graph.nodes() {
             node.attach(cfg.ranks, cfg.workers_per_rank);
         }
@@ -153,10 +192,10 @@ impl Executor {
             .ok()
             .expect("nodes set twice");
 
-        // One communication/progress thread per rank: the analog of the
-        // backends' AM server / communication thread.
-        let mut comm_threads = Vec::with_capacity(cfg.ranks);
-        for r in 0..cfg.ranks {
+        // One communication/progress thread per hosted rank: the analog
+        // of the backends' AM server / communication thread.
+        let mut comm_threads = Vec::with_capacity(local_ranks.len());
+        for r in local_ranks {
             let rx = fabric.take_receiver(r);
             let ctx2 = Arc::clone(&ctx);
             comm_threads.push(
@@ -211,6 +250,7 @@ impl Executor {
             comm_threads,
             deadline: cfg.delivery_deadline,
             started: Instant::now(),
+            wait_fenced: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -237,6 +277,10 @@ impl Executor {
     /// gives up, records a structured `DeadlineMissed` [`CommError`] on
     /// the fabric, and returns — degraded, not hung.
     pub fn wait(&self) {
+        if self.ctx.fabric.local_rank().is_some() {
+            self.wait_remote();
+            return;
+        }
         let give_up = self.deadline.map(|d| Instant::now() + d);
         loop {
             if self.ctx.fabric.packets_in_flight() == 0 && self.ctx.quiescence.is_quiescent() {
@@ -264,6 +308,48 @@ impl Executor {
                 }
             }
             std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    /// Multi-process wait: local quiescence is not global quiescence (a
+    /// peer may still be about to send here), so rank 0 runs a distributed
+    /// termination detector and broadcasts the verdict.
+    fn wait_remote(&self) {
+        use std::sync::atomic::Ordering;
+        // Start fence, once per execution: no rank may begin probing for
+        // termination until every rank has seeded its graph and entered
+        // the wait — otherwise an early-starting coordinator could observe
+        // a not-yet-seeded (and therefore idle) peer and declare a finish
+        // that never happened.
+        if !self.wait_fenced.swap(true, Ordering::SeqCst) {
+            self.ctx.fabric.barrier();
+        }
+        let give_up = self.deadline.map(|d| Instant::now() + d);
+        loop {
+            if self.ctx.fabric.remote_done() {
+                return;
+            }
+            self.ctx.fabric.drive_termination();
+            if let Some(t) = give_up {
+                if Instant::now() >= t {
+                    self.ctx.fabric.count_deadline_miss();
+                    self.ctx.fabric.record_error(CommError {
+                        kind: CommErrorKind::DeadlineMissed,
+                        from: None,
+                        to: None,
+                        handler: None,
+                        seq: None,
+                        detail: format!(
+                            "no distributed termination within {:?} \
+                             ({} packets in flight locally)",
+                            self.deadline.unwrap(),
+                            self.ctx.fabric.packets_in_flight()
+                        ),
+                    });
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_micros(200));
         }
     }
 

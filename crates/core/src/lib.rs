@@ -69,7 +69,10 @@ pub use graph::{Graph, GraphBuilder, TtHandle};
 pub use inspect::{EdgeDecl, KeymapProbe, MutationError, ReducerDecl, StuckEntry, Violation};
 pub use outs::{InRef, Outs};
 pub use trace::{Dep, TaskEvent, TraceRecorder};
-pub use ttg_comm::{CommError, CommErrorKind, FaultPlan, KillScript, RetryPolicy};
+pub use ttg_comm::{
+    CommError, CommErrorKind, FaultPlan, KillScript, RemoteHandle, RetryPolicy, TransportKind,
+    TransportSpec,
+};
 pub use types::{Ctl, Data, Key, LocalPass};
 
 /// Everything needed to write a TTG program.
@@ -80,5 +83,5 @@ pub mod prelude {
     pub use crate::graph::{Graph, GraphBuilder, TtHandle};
     pub use crate::outs::{InRef, Outs};
     pub use crate::types::{Ctl, LocalPass};
-    pub use ttg_comm::{FaultPlan, Wire, WireKind};
+    pub use ttg_comm::{FaultPlan, RemoteHandle, TransportKind, TransportSpec, Wire, WireKind};
 }

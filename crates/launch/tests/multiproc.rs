@@ -1,0 +1,70 @@
+//! End-to-end multi-process smoke tests: drive the `ttg-launch` binary the
+//! way CI does and require the bit-identical (cholesky) / tolerance-bound
+//! (bspmm) verification against the single-process reference to pass.
+//!
+//! Sizes are kept small — each test spawns real OS processes that must
+//! handshake over real sockets, factor/multiply, and compare.
+
+use std::process::Command;
+
+fn launch(args: &[&str]) {
+    let exe = env!("CARGO_BIN_EXE_ttg-launch");
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .expect("spawn ttg-launch");
+    assert!(
+        out.status.success(),
+        "ttg-launch {args:?} failed ({}):\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn cholesky_two_processes_over_uds_bit_identical() {
+    launch(&[
+        "--ranks",
+        "2",
+        "--workers",
+        "2",
+        "--transport",
+        "uds",
+        "--nt",
+        "5",
+        "--nb",
+        "8",
+        "cholesky",
+    ]);
+}
+
+#[test]
+fn cholesky_two_processes_over_tcp_bit_identical() {
+    launch(&[
+        "--ranks",
+        "2",
+        "--workers",
+        "2",
+        "--transport",
+        "tcp",
+        "--nt",
+        "5",
+        "--nb",
+        "8",
+        "cholesky",
+    ]);
+}
+
+#[test]
+fn bspmm_two_processes_over_uds_matches_reference() {
+    launch(&[
+        "--ranks",
+        "2",
+        "--workers",
+        "2",
+        "--transport",
+        "uds",
+        "bspmm",
+    ]);
+}

@@ -171,27 +171,11 @@ impl SafraRing {
     }
 
     /// Drive the ring until rank 0 detects termination, given a predicate
-    /// telling whether each rank is currently passive. Intended for tests
-    /// and single-threaded replay; returns the number of token hops used.
-    ///
-    /// Panics on stall — use [`drive_bounded`](Self::drive_bounded), which
-    /// returns a structured [`SafraStall`] report instead. This helper
-    /// survives only so tests can assert the legacy panic behavior.
-    #[deprecated(
-        since = "0.1.0",
-        note = "panics on stall; use drive_bounded and handle SafraStall"
-    )]
-    pub fn drive_to_termination(&self, passive: impl Fn(usize) -> bool) -> usize {
-        match self.drive_bounded(passive, 1_000_000) {
-            Ok(hops) => hops,
-            Err(stall) => panic!("Safra ring failed to terminate — algorithm bug: {stall}"),
-        }
-    }
-
-    /// Like [`drive_to_termination`](Self::drive_to_termination), but give
-    /// up after `max_rounds` sweeps of the ring and return a structured
-    /// [`SafraStall`] report instead of hanging — the termination-detection
-    /// analog of the matching-table stuck-key report.
+    /// telling whether each rank is currently passive, giving up after
+    /// `max_rounds` sweeps of the ring with a structured [`SafraStall`]
+    /// report instead of hanging — the termination-detection analog of the
+    /// matching-table stuck-key report. Intended for tests and
+    /// single-threaded replay; returns the number of token hops used.
     pub fn drive_bounded(
         &self,
         passive: impl Fn(usize) -> bool,
@@ -294,15 +278,12 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_drive_still_works_for_legacy_callers() {
-        // The panicking helper survives as a deprecated shim over
-        // drive_bounded; keep its happy path covered until removal.
-        #[allow(deprecated)]
-        {
-            let ring = SafraRing::new(4);
-            ring.drive_to_termination(|_| true);
-            assert!(ring.rank(0).terminated());
-        }
+    fn bounded_drive_covers_legacy_callers() {
+        // drive_bounded with a generous budget replaces the removed
+        // panicking drive_to_termination shim for all-passive rings.
+        let ring = SafraRing::new(4);
+        ring.drive_bounded(|_| true, 1_000_000).expect("terminates");
+        assert!(ring.rank(0).terminated());
     }
 
     #[test]

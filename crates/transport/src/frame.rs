@@ -1,0 +1,619 @@
+//! Wire frame format and incremental codec.
+//!
+//! Every transport delivers the same unit: a length-prefixed **frame**.
+//! The on-wire layout is
+//!
+//! ```text
+//! | len: u32 LE | kind: u8 | body ... |
+//! ```
+//!
+//! where `len` counts the `kind` byte plus the body (so `len >= 1`) and all
+//! multi-byte integers are little-endian. The decoder is incremental: bytes
+//! arrive in arbitrary chunks (sockets split frames at any boundary,
+//! including inside the length prefix) and complete frames are surfaced as
+//! they materialize. Frames longer than [`MAX_FRAME`] are rejected as
+//! malformed instead of allocating unboundedly — a garbage or hostile peer
+//! must not be able to OOM a rank.
+
+/// Handshake magic: `"TTGW"` as a little-endian u32.
+pub const MAGIC: u32 = 0x5747_5454;
+
+/// Wire protocol version; bumped on any incompatible frame-format change.
+/// Peers with mismatched versions refuse the connection at handshake.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on the encoded size (kind + body) of a single frame.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// A unit of transport-level communication.
+///
+/// `Hello`/`Bye` belong to connection lifecycle; `Am`/`Ack` carry the
+/// fabric's active-message and reliable-delivery traffic; the remaining
+/// kinds implement the message-based protocols that replace shared-memory
+/// shortcuts when ranks live in separate OS processes (one-sided fetches,
+/// the barrier, and distributed termination detection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Handshake, exchanged in both directions when a connection opens.
+    Hello {
+        /// Must equal [`MAGIC`].
+        magic: u32,
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u16,
+        /// Rank of the sending endpoint.
+        rank: u32,
+        /// Total rank count the sender believes the job has.
+        ranks: u32,
+    },
+    /// Active message addressed to the receiving rank.
+    Am {
+        /// Sending rank (or `u32::MAX` for out-of-fabric sentinel senders).
+        from: u32,
+        /// Destination-side handler index.
+        handler: u32,
+        /// Reliable-layer sequence number (0 when the layer is off).
+        seq: u64,
+        /// Serialized message body.
+        payload: Vec<u8>,
+    },
+    /// Acknowledgement of sequenced AM `seq` on the link from the receiver
+    /// back to the original sender.
+    Ack {
+        /// Rank acknowledging (the AM's destination).
+        from: u32,
+        /// Sequence number being acknowledged.
+        seq: u64,
+    },
+    /// One-sided fetch request for region `region` owned by the receiver.
+    RmaReq {
+        /// Requesting rank.
+        from: u32,
+        /// Request id, echoed in the response.
+        req: u64,
+        /// Region id to read.
+        region: u64,
+    },
+    /// Response to [`Frame::RmaReq`].
+    RmaResp {
+        /// Region owner answering the request.
+        from: u32,
+        /// Request id being answered.
+        req: u64,
+        /// Region bytes, or `None` if the region is unknown.
+        data: Option<Vec<u8>>,
+    },
+    /// Barrier arrival notice, sent to the rank-0 coordinator.
+    BarrierEnter {
+        /// Arriving rank.
+        from: u32,
+        /// Barrier ordinal (ranks hit barriers in the same program order).
+        epoch: u64,
+    },
+    /// Barrier release broadcast from the coordinator.
+    BarrierRelease {
+        /// Barrier ordinal being released.
+        epoch: u64,
+    },
+    /// Termination probe from the rank-0 coordinator.
+    TermProbe {
+        /// Probe round.
+        round: u64,
+    },
+    /// A rank's answer to a termination probe: its message counters and
+    /// local idleness at the time the probe was processed.
+    TermReply {
+        /// Replying rank.
+        from: u32,
+        /// Probe round being answered.
+        round: u64,
+        /// Remote AMs this rank has sent so far.
+        sent: u64,
+        /// Remote AMs this rank has received so far.
+        recvd: u64,
+        /// Local activity epoch (detects work between two probe rounds).
+        epoch: u64,
+        /// Whether the rank was locally idle.
+        idle: bool,
+    },
+    /// Global-termination announcement from the coordinator.
+    TermDone,
+    /// Orderly connection close notice; the peer's reader exits quietly.
+    Bye {
+        /// Departing rank.
+        from: u32,
+    },
+}
+
+/// Why a byte stream could not be decoded into frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix announced a frame larger than [`MAX_FRAME`].
+    TooLarge {
+        /// Announced frame length.
+        len: usize,
+    },
+    /// The frame body was truncated, had an unknown kind, or was otherwise
+    /// structurally invalid.
+    Malformed {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge { len } => {
+                write!(f, "frame length {len} exceeds cap {MAX_FRAME}")
+            }
+            FrameError::Malformed { detail } => write!(f, "malformed frame: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+const K_HELLO: u8 = 0;
+const K_AM: u8 = 1;
+const K_ACK: u8 = 2;
+const K_RMA_REQ: u8 = 3;
+const K_RMA_RESP: u8 = 4;
+const K_BARRIER_ENTER: u8 = 5;
+const K_BARRIER_RELEASE: u8 = 6;
+const K_TERM_PROBE: u8 = 7;
+const K_TERM_REPLY: u8 = 8;
+const K_TERM_DONE: u8 = 9;
+const K_BYE: u8 = 10;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+impl Frame {
+    /// Append the length-prefixed encoding of this frame to `out`.
+    /// Returns the number of bytes appended.
+    pub fn encode(&self, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        put_u32(out, 0); // length back-patched below
+        match self {
+            Frame::Hello {
+                magic,
+                version,
+                rank,
+                ranks,
+            } => {
+                out.push(K_HELLO);
+                put_u32(out, *magic);
+                put_u16(out, *version);
+                put_u32(out, *rank);
+                put_u32(out, *ranks);
+            }
+            Frame::Am {
+                from,
+                handler,
+                seq,
+                payload,
+            } => {
+                out.push(K_AM);
+                put_u32(out, *from);
+                put_u32(out, *handler);
+                put_u64(out, *seq);
+                out.extend_from_slice(payload);
+            }
+            Frame::Ack { from, seq } => {
+                out.push(K_ACK);
+                put_u32(out, *from);
+                put_u64(out, *seq);
+            }
+            Frame::RmaReq { from, req, region } => {
+                out.push(K_RMA_REQ);
+                put_u32(out, *from);
+                put_u64(out, *req);
+                put_u64(out, *region);
+            }
+            Frame::RmaResp { from, req, data } => {
+                out.push(K_RMA_RESP);
+                put_u32(out, *from);
+                put_u64(out, *req);
+                match data {
+                    Some(d) => {
+                        out.push(1);
+                        out.extend_from_slice(d);
+                    }
+                    None => out.push(0),
+                }
+            }
+            Frame::BarrierEnter { from, epoch } => {
+                out.push(K_BARRIER_ENTER);
+                put_u32(out, *from);
+                put_u64(out, *epoch);
+            }
+            Frame::BarrierRelease { epoch } => {
+                out.push(K_BARRIER_RELEASE);
+                put_u64(out, *epoch);
+            }
+            Frame::TermProbe { round } => {
+                out.push(K_TERM_PROBE);
+                put_u64(out, *round);
+            }
+            Frame::TermReply {
+                from,
+                round,
+                sent,
+                recvd,
+                epoch,
+                idle,
+            } => {
+                out.push(K_TERM_REPLY);
+                put_u32(out, *from);
+                put_u64(out, *round);
+                put_u64(out, *sent);
+                put_u64(out, *recvd);
+                put_u64(out, *epoch);
+                out.push(u8::from(*idle));
+            }
+            Frame::TermDone => out.push(K_TERM_DONE),
+            Frame::Bye { from } => {
+                out.push(K_BYE);
+                put_u32(out, *from);
+            }
+        }
+        let len = (out.len() - start - 4) as u32;
+        out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+        out.len() - start
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn encode_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Body-decoding cursor over one frame's bytes.
+struct Cur<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.at + n > self.b.len() {
+            return Err(FrameError::Malformed {
+                detail: format!("body truncated at byte {}", self.at),
+            });
+        }
+        let s = &self.b[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn rest(&mut self) -> Vec<u8> {
+        let s = self.b[self.at..].to_vec();
+        self.at = self.b.len();
+        s
+    }
+}
+
+fn decode_body(kind: u8, body: &[u8]) -> Result<Frame, FrameError> {
+    let mut c = Cur { b: body, at: 0 };
+    let frame = match kind {
+        K_HELLO => Frame::Hello {
+            magic: c.u32()?,
+            version: c.u16()?,
+            rank: c.u32()?,
+            ranks: c.u32()?,
+        },
+        K_AM => Frame::Am {
+            from: c.u32()?,
+            handler: c.u32()?,
+            seq: c.u64()?,
+            payload: c.rest(),
+        },
+        K_ACK => Frame::Ack {
+            from: c.u32()?,
+            seq: c.u64()?,
+        },
+        K_RMA_REQ => Frame::RmaReq {
+            from: c.u32()?,
+            req: c.u64()?,
+            region: c.u64()?,
+        },
+        K_RMA_RESP => {
+            let from = c.u32()?;
+            let req = c.u64()?;
+            let data = match c.u8()? {
+                0 => None,
+                1 => Some(c.rest()),
+                t => {
+                    return Err(FrameError::Malformed {
+                        detail: format!("bad RmaResp tag {t}"),
+                    })
+                }
+            };
+            Frame::RmaResp { from, req, data }
+        }
+        K_BARRIER_ENTER => Frame::BarrierEnter {
+            from: c.u32()?,
+            epoch: c.u64()?,
+        },
+        K_BARRIER_RELEASE => Frame::BarrierRelease { epoch: c.u64()? },
+        K_TERM_PROBE => Frame::TermProbe { round: c.u64()? },
+        K_TERM_REPLY => Frame::TermReply {
+            from: c.u32()?,
+            round: c.u64()?,
+            sent: c.u64()?,
+            recvd: c.u64()?,
+            epoch: c.u64()?,
+            idle: c.u8()? != 0,
+        },
+        K_TERM_DONE => Frame::TermDone,
+        K_BYE => Frame::Bye { from: c.u32()? },
+        k => {
+            return Err(FrameError::Malformed {
+                detail: format!("unknown frame kind {k}"),
+            })
+        }
+    };
+    Ok(frame)
+}
+
+/// Incremental frame decoder.
+///
+/// Feed arbitrary byte chunks with [`push`](Self::push) and drain complete
+/// frames with [`next`](Self::next). Internal storage is compacted as
+/// frames are consumed, so memory use is bounded by the largest in-flight
+/// frame plus one read chunk.
+#[derive(Default)]
+pub struct FrameCodec {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameCodec {
+    /// Create an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append raw bytes read from the wire.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily: only when consumed prefix dominates the buffer.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decode the next complete frame, if one is buffered.
+    ///
+    /// `Ok(None)` means more bytes are needed; an error poisons the stream
+    /// (the caller must drop the connection — after a framing error there
+    /// is no way to resynchronize). Not `Iterator::next`: the fallible
+    /// tri-state return (frame / starved / poisoned) is the point.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap()) as usize;
+        if len == 0 {
+            return Err(FrameError::Malformed {
+                detail: "zero-length frame (missing kind byte)".into(),
+            });
+        }
+        if len > MAX_FRAME {
+            return Err(FrameError::TooLarge { len });
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let kind = self.buf[self.pos + 4];
+        let body = &self.buf[self.pos + 5..self.pos + 4 + len];
+        let frame = decode_body(kind, body)?;
+        self.pos += 4 + len;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: &Frame) -> Frame {
+        let mut c = FrameCodec::new();
+        c.push(&f.encode_vec());
+        let out = c.next().unwrap().expect("one frame");
+        assert!(c.next().unwrap().is_none(), "no trailing frame");
+        out
+    }
+
+    #[test]
+    fn every_kind_roundtrips() {
+        let frames = [
+            Frame::Hello {
+                magic: MAGIC,
+                version: PROTOCOL_VERSION,
+                rank: 3,
+                ranks: 4,
+            },
+            Frame::Am {
+                from: 1,
+                handler: 9,
+                seq: 77,
+                payload: vec![1, 2, 3, 4, 5],
+            },
+            Frame::Ack { from: 2, seq: 12 },
+            Frame::RmaReq {
+                from: 0,
+                req: 5,
+                region: 42,
+            },
+            Frame::RmaResp {
+                from: 1,
+                req: 5,
+                data: Some(vec![9; 100]),
+            },
+            Frame::RmaResp {
+                from: 1,
+                req: 6,
+                data: None,
+            },
+            Frame::BarrierEnter { from: 3, epoch: 2 },
+            Frame::BarrierRelease { epoch: 2 },
+            Frame::TermProbe { round: 8 },
+            Frame::TermReply {
+                from: 2,
+                round: 8,
+                sent: 100,
+                recvd: 99,
+                epoch: 1234,
+                idle: true,
+            },
+            Frame::TermDone,
+            Frame::Bye { from: 0 },
+        ];
+        for f in &frames {
+            assert_eq!(&roundtrip(f), f, "roundtrip of {f:?}");
+        }
+    }
+
+    #[test]
+    fn partial_reads_one_byte_at_a_time() {
+        // The harshest split: every byte arrives alone, including the four
+        // bytes of the length prefix.
+        let f = Frame::Am {
+            from: 0,
+            handler: 7,
+            seq: 3,
+            payload: vec![0xAB; 37],
+        };
+        let bytes = f.encode_vec();
+        let mut c = FrameCodec::new();
+        for (i, b) in bytes.iter().enumerate() {
+            assert!(c.next().unwrap().is_none(), "frame surfaced early at {i}");
+            c.push(std::slice::from_ref(b));
+        }
+        assert_eq!(c.next().unwrap().unwrap(), f);
+    }
+
+    #[test]
+    fn split_length_prefix_across_chunks() {
+        let f = Frame::Ack { from: 1, seq: 99 };
+        let bytes = f.encode_vec();
+        let mut c = FrameCodec::new();
+        // Two bytes of the prefix, then the rest.
+        c.push(&bytes[..2]);
+        assert!(c.next().unwrap().is_none());
+        c.push(&bytes[2..]);
+        assert_eq!(c.next().unwrap().unwrap(), f);
+    }
+
+    #[test]
+    fn multiple_frames_in_one_chunk_plus_tail() {
+        let a = Frame::Ack { from: 0, seq: 1 };
+        let b = Frame::TermProbe { round: 4 };
+        let tail = Frame::Bye { from: 2 };
+        let mut bytes = a.encode_vec();
+        bytes.extend(b.encode_vec());
+        let tail_bytes = tail.encode_vec();
+        bytes.extend_from_slice(&tail_bytes[..3]); // partial third frame
+        let mut c = FrameCodec::new();
+        c.push(&bytes);
+        assert_eq!(c.next().unwrap().unwrap(), a);
+        assert_eq!(c.next().unwrap().unwrap(), b);
+        assert!(c.next().unwrap().is_none());
+        c.push(&tail_bytes[3..]);
+        assert_eq!(c.next().unwrap().unwrap(), tail);
+    }
+
+    #[test]
+    fn zero_length_payload_is_a_valid_am() {
+        let f = Frame::Am {
+            from: 2,
+            handler: 0,
+            seq: 0,
+            payload: Vec::new(),
+        };
+        assert_eq!(roundtrip(&f), f);
+    }
+
+    #[test]
+    fn zero_length_frame_is_rejected() {
+        // A frame must carry at least its kind byte; len == 0 is garbage.
+        let mut c = FrameCodec::new();
+        c.push(&0u32.to_le_bytes());
+        assert!(matches!(c.next(), Err(FrameError::Malformed { .. })));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut c = FrameCodec::new();
+        c.push(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        c.push(&[K_AM]);
+        assert!(matches!(c.next(), Err(FrameError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn truncated_body_is_malformed() {
+        // Announce an Ack but deliver fewer body bytes than the fields
+        // need: len covers them, content does not exist → kind decode must
+        // fail, not panic.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&3u32.to_le_bytes()); // kind + 2 body bytes
+        bytes.push(K_ACK);
+        bytes.extend_from_slice(&[0, 0]); // Ack wants 4 + 8 bytes
+        let mut c = FrameCodec::new();
+        c.push(&bytes);
+        assert!(matches!(c.next(), Err(FrameError::Malformed { .. })));
+    }
+
+    #[test]
+    fn unknown_kind_is_malformed() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(200);
+        let mut c = FrameCodec::new();
+        c.push(&bytes);
+        assert!(matches!(c.next(), Err(FrameError::Malformed { .. })));
+    }
+
+    #[test]
+    fn codec_compacts_consumed_prefix() {
+        let f = Frame::Am {
+            from: 0,
+            handler: 1,
+            seq: 0,
+            payload: vec![7; 1024],
+        };
+        let bytes = f.encode_vec();
+        let mut c = FrameCodec::new();
+        for _ in 0..64 {
+            c.push(&bytes);
+            assert_eq!(c.next().unwrap().unwrap(), f);
+        }
+        // After 64 consumed 1KiB frames the buffer must not have grown to
+        // hold them all: compaction reclaimed the consumed prefix.
+        assert!(c.buf.len() < 8 * bytes.len(), "buf grew to {}", c.buf.len());
+    }
+}

@@ -1,0 +1,216 @@
+//! The transport trait contract: [`Endpoint`] / [`Link`] plus structured
+//! [`TransportError`]s and the telemetry handle bundle.
+//!
+//! An `Endpoint` is one rank's attachment to the fabric's link layer. It
+//! owns one `Link` per peer (ordered, framed, reliable-at-the-byte-level
+//! delivery — TCP/UDS semantics; the in-process implementation is trivially
+//! ordered) and delivers incoming frames through a caller-installed
+//! [`Sink`]. Everything above this contract — the fabric's reliable
+//! ack/retry layer, fault injection, RMA emulation — is transport-agnostic.
+
+use std::sync::Arc;
+
+use ttg_telemetry::{Counter, Gauge, MetricKey, Registry};
+
+use crate::frame::Frame;
+
+/// Logical process rank (mirrors `ttg_comm::Rank` without the dependency).
+pub type Rank = usize;
+
+/// Which link-layer implementation a fabric runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process channels (the historical fabric wire).
+    InProc,
+    /// TCP over loopback/network sockets.
+    Tcp,
+    /// Unix-domain stream sockets.
+    Uds,
+}
+
+impl TransportKind {
+    /// Stable lowercase name (CLI flag value / display).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportKind::InProc => "inproc",
+            TransportKind::Tcp => "tcp",
+            TransportKind::Uds => "uds",
+        }
+    }
+
+    /// Parse a CLI flag value.
+    pub fn parse(s: &str) -> Option<TransportKind> {
+        match s {
+            "inproc" => Some(TransportKind::InProc),
+            "tcp" => Some(TransportKind::Tcp),
+            "uds" | "unix" => Some(TransportKind::Uds),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Structured connection/link failure — never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer's listener did not accept within the dial budget.
+    ConnectRefused {
+        /// Peer rank being dialed.
+        peer: Rank,
+        /// OS-level detail.
+        detail: String,
+    },
+    /// An established connection failed mid-stream (reset, broken pipe,
+    /// unexpected EOF).
+    PeerReset {
+        /// Peer rank on the failed connection.
+        peer: Rank,
+        /// OS-level detail.
+        detail: String,
+    },
+    /// The peer spoke a different protocol (bad magic, version skew,
+    /// unexpected rank or rank count).
+    HandshakeMismatch {
+        /// Peer rank (as expected by the local side).
+        peer: Rank,
+        /// What disagreed.
+        detail: String,
+    },
+    /// The link was shut down; no further sends are possible.
+    Closed {
+        /// Peer rank of the closed link.
+        peer: Rank,
+    },
+    /// The peer's byte stream could not be decoded into frames.
+    Framing {
+        /// Peer rank that sent the garbage.
+        peer: Rank,
+        /// Codec diagnosis.
+        detail: String,
+    },
+}
+
+impl TransportError {
+    /// Peer rank this error is about.
+    pub fn peer(&self) -> Rank {
+        match self {
+            TransportError::ConnectRefused { peer, .. }
+            | TransportError::PeerReset { peer, .. }
+            | TransportError::HandshakeMismatch { peer, .. }
+            | TransportError::Closed { peer }
+            | TransportError::Framing { peer, .. } => *peer,
+        }
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::ConnectRefused { peer, detail } => {
+                write!(f, "connect to rank {peer} refused: {detail}")
+            }
+            TransportError::PeerReset { peer, detail } => {
+                write!(f, "connection to rank {peer} reset: {detail}")
+            }
+            TransportError::HandshakeMismatch { peer, detail } => {
+                write!(f, "handshake with rank {peer} failed: {detail}")
+            }
+            TransportError::Closed { peer } => write!(f, "link to rank {peer} closed"),
+            TransportError::Framing { peer, detail } => {
+                write!(f, "framing error from rank {peer}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Receiver callback installed with [`Endpoint::start`].
+///
+/// Called from transport-internal reader threads with `(source_rank,
+/// frame_or_error)`. Errors report connection-level trouble attributed to
+/// that peer; after a fatal error no further frames arrive from it until
+/// the transport re-establishes the connection.
+pub type Sink = Arc<dyn Fn(Rank, Result<Frame, TransportError>) + Send + Sync>;
+
+/// An ordered, framed, one-directional send channel to a single peer.
+///
+/// `send` enqueues onto a **bounded** per-peer queue and blocks when the
+/// queue is full (backpressure, not unbounded buffering); it returns an
+/// error only when the link is closed for good.
+pub trait Link: Send + Sync {
+    /// Rank this link delivers to.
+    fn peer(&self) -> Rank;
+    /// Enqueue one frame for delivery, blocking under backpressure.
+    fn send(&self, frame: Frame) -> Result<(), TransportError>;
+}
+
+/// One rank's attachment to the link layer.
+pub trait Endpoint: Send + Sync {
+    /// This endpoint's rank.
+    fn rank(&self) -> Rank;
+    /// Total ranks in the job.
+    fn n_ranks(&self) -> usize;
+    /// Which implementation this is.
+    fn kind(&self) -> TransportKind;
+    /// The send link to `to`. Panics if `to` is out of range or `self`.
+    fn link(&self, to: Rank) -> Arc<dyn Link>;
+    /// Install the receive sink and begin delivering frames. Frames that
+    /// arrived before `start` are buffered and delivered in order.
+    fn start(&self, sink: Sink);
+    /// Flush pending sends, notify peers (`Bye`), and close connections.
+    fn shutdown(&self);
+}
+
+/// Telemetry handles shared by all transport implementations, registered
+/// under subsystem `"transport"` in the fabric's [`Registry`] so
+/// `FabricStats` snapshots and JSON exports see them alongside the comm
+/// counters.
+#[derive(Clone)]
+pub struct TransportMetrics {
+    /// Bytes handed to the OS (or peer channel) across all links.
+    pub tx_bytes: Counter,
+    /// Bytes read off the wire across all links.
+    pub rx_bytes: Counter,
+    /// Successful connection establishments (dial or accept + handshake).
+    pub connects: Counter,
+    /// Connections re-established after a mid-run failure.
+    pub reconnects: Counter,
+    /// Handshakes refused (magic/version/rank mismatch).
+    pub handshake_failures: Counter,
+    /// Per-peer send-queue high-water marks (frames).
+    pub queue_hwm: Vec<Gauge>,
+}
+
+impl TransportMetrics {
+    /// Register (or re-attach to) the transport counters in `reg` for a
+    /// job with `n` ranks.
+    pub fn register(reg: &Registry, n: usize) -> Self {
+        let c = |name| reg.counter(MetricKey::global("transport", name));
+        TransportMetrics {
+            tx_bytes: c("tx_bytes"),
+            rx_bytes: c("rx_bytes"),
+            connects: c("connects"),
+            reconnects: c("reconnects"),
+            handshake_failures: c("handshake_failures"),
+            queue_hwm: (0..n)
+                .map(|r| reg.gauge(MetricKey::ranked(r, "transport", "send_queue_hwm")))
+                .collect(),
+        }
+    }
+
+    /// Raise the high-water mark for `peer`'s send queue to at least `len`.
+    pub fn note_queue_len(&self, peer: Rank, len: usize) {
+        if let Some(g) = self.queue_hwm.get(peer) {
+            // Racy max is fine: the mark is a diagnostic, not an invariant.
+            if (len as i64) > g.get() {
+                g.set(len as i64);
+            }
+        }
+    }
+}

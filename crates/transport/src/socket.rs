@@ -1,0 +1,1099 @@
+//! Socket transports: TCP and Unix-domain stream sockets.
+//!
+//! One [`SocketEndpoint`] per rank owns a listener plus one connection per
+//! peer. The canonical topology is a full mesh established at startup:
+//! rank `i` **dials** every rank `j < i` and **accepts** from every rank
+//! `j > i`, so each pair shares exactly one duplex connection. Both
+//! directions of the handshake exchange a `Hello` frame (magic, protocol
+//! version, rank id, rank count) and refuse mismatches with a structured
+//! [`TransportError::HandshakeMismatch`].
+//!
+//! Per peer there is a **bounded** send queue (backpressure: `Link::send`
+//! blocks when the queue is full) drained by a dedicated writer thread, and
+//! a reader thread that feeds an incremental [`FrameCodec`] and hands
+//! complete frames to the endpoint's sink. A mid-run connection failure is
+//! reported as a structured error; the dialing side additionally attempts
+//! one redial (counted in `reconnects`), and the accepting side keeps its
+//! listener open for the endpoint's lifetime so a redialed peer is
+//! re-admitted.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use ttg_telemetry::Registry;
+
+use crate::frame::{Frame, FrameCodec, MAGIC, PROTOCOL_VERSION};
+use crate::link::{Endpoint, Link, Rank, Sink, TransportError, TransportKind, TransportMetrics};
+
+/// Frames a single peer queue may hold before `Link::send` blocks.
+const SEND_QUEUE_CAP: usize = 1024;
+/// Budget for one dial: retries × pause (listeners may not be up yet).
+const DIAL_RETRIES: u32 = 300;
+const DIAL_PAUSE: Duration = Duration::from_millis(20);
+/// Read timeout applied only while a handshake is outstanding.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+/// How long rendezvous waits for all peers before giving up.
+const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(60);
+/// How long a writer waits for the accept loop to replace a broken
+/// connection before abandoning the frame.
+const REPLACE_WAIT: Duration = Duration::from_secs(3);
+
+// ---------------------------------------------------------------- streams
+
+/// A connected stream of either family.
+enum Stream {
+    /// TCP connection.
+    Tcp(TcpStream),
+    /// Unix-domain connection.
+    Uds(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Uds(s) => Stream::Uds(s.try_clone()?),
+        })
+    }
+
+    fn shutdown_both(&self) {
+        let _ = match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Uds(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) {
+        let _ = match self {
+            Stream::Tcp(s) => s.set_read_timeout(t),
+            Stream::Uds(s) => s.set_read_timeout(t),
+        };
+    }
+
+    fn tune(&self) {
+        // Frames are latency-sensitive task messages; never Nagle them.
+        if let Stream::Tcp(s) = self {
+            let _ = s.set_nodelay(true);
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Uds(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Uds(s) => s.flush(),
+        }
+    }
+}
+
+/// A peer address of either family, with a stable text form used by the
+/// file-based rendezvous (`tcp:IP:PORT` / `uds:PATH`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddrSpec {
+    /// TCP socket address.
+    Tcp(std::net::SocketAddr),
+    /// Unix-domain socket path.
+    Uds(PathBuf),
+}
+
+impl AddrSpec {
+    /// Render the rendezvous-file text form.
+    pub fn to_text(&self) -> String {
+        match self {
+            AddrSpec::Tcp(a) => format!("tcp:{a}"),
+            AddrSpec::Uds(p) => format!("uds:{}", p.display()),
+        }
+    }
+
+    /// Parse the rendezvous-file text form.
+    pub fn parse(s: &str) -> Option<AddrSpec> {
+        let s = s.trim();
+        if let Some(rest) = s.strip_prefix("tcp:") {
+            return rest.parse().ok().map(AddrSpec::Tcp);
+        }
+        if let Some(rest) = s.strip_prefix("uds:") {
+            return Some(AddrSpec::Uds(PathBuf::from(rest)));
+        }
+        None
+    }
+
+    fn connect(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            AddrSpec::Tcp(a) => Stream::Tcp(TcpStream::connect(a)?),
+            AddrSpec::Uds(p) => Stream::Uds(UnixStream::connect(p)?),
+        })
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Uds(UnixListener, PathBuf),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Listener::Tcp(l) => Stream::Tcp(l.accept()?.0),
+            Listener::Uds(l, _) => Stream::Uds(l.accept()?.0),
+        })
+    }
+
+    fn addr(&self) -> AddrSpec {
+        match self {
+            Listener::Tcp(l) => AddrSpec::Tcp(l.local_addr().expect("tcp listener addr")),
+            Listener::Uds(_, p) => AddrSpec::Uds(p.clone()),
+        }
+    }
+}
+
+// ------------------------------------------------------- bounded send queue
+
+/// Bounded MPSC byte-buffer queue (the crossbeam shim offers only
+/// unbounded channels, so backpressure is implemented here directly).
+struct SendQ {
+    state: Mutex<QState>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+struct QState {
+    items: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+impl SendQ {
+    fn new(cap: usize) -> SendQ {
+        SendQ {
+            state: Mutex::new(QState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Blocking bounded push; returns the queue depth after insertion or
+    /// an error if the queue is closed.
+    fn push(&self, item: Vec<u8>) -> Result<usize, ()> {
+        let mut st = self.state.lock();
+        while st.items.len() >= self.cap && !st.closed {
+            self.not_full.wait(&mut st);
+        }
+        if st.closed {
+            return Err(());
+        }
+        st.items.push_back(item);
+        let depth = st.items.len();
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking pop; `None` once the queue is closed *and* drained.
+    fn pop(&self) -> Option<Vec<u8>> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Append a final item (ignoring the cap) and close the queue: pending
+    /// items still drain, further pushes fail.
+    fn close_with(&self, item: Option<Vec<u8>>) {
+        let mut st = self.state.lock();
+        if let Some(i) = item {
+            if !st.closed {
+                st.items.push_back(i);
+            }
+        }
+        st.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+// ------------------------------------------------------------- connections
+
+/// Per-peer connection state: the bounded queue plus the writer-half
+/// stream slot, replaced on reconnection.
+struct ConnSlot {
+    q: SendQ,
+    stream: Mutex<Option<Stream>>,
+    stream_cv: Condvar,
+    /// Bumped on every (re)establishment; readers use it to tell
+    /// "connection replaced" apart from "connection died".
+    generation: AtomicU64,
+    /// Peer announced orderly shutdown (`Bye`): EOF is not an error.
+    orderly: AtomicBool,
+}
+
+struct Inner {
+    me: Rank,
+    n: usize,
+    kind: TransportKind,
+    listener: Listener,
+    /// Known peer addresses (dial targets); populated for dialed peers and
+    /// used for redial after a mid-run failure.
+    addrs: Mutex<Vec<Option<AddrSpec>>>,
+    /// `conns[p]` is `None` only for `p == me`.
+    conns: Vec<Option<ConnSlot>>,
+    sink: OnceLock<Sink>,
+    stop: AtomicBool,
+    metrics: TransportMetrics,
+    /// Number of peers with an established connection (first generations
+    /// only), guarded for rendezvous waiting.
+    ready: Mutex<usize>,
+    ready_cv: Condvar,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Inner {
+    fn sink_wait(&self) -> Option<Sink> {
+        loop {
+            if let Some(s) = self.sink.get() {
+                return Some(Arc::clone(s));
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    fn emit(&self, peer: Rank, ev: Result<Frame, TransportError>) {
+        if let Some(s) = self.sink.get() {
+            s(peer, ev);
+        }
+    }
+
+    /// Install a freshly handshaken stream for `peer` and spawn its reader.
+    fn install_stream(self: &Arc<Self>, peer: Rank, stream: Stream) {
+        stream.tune();
+        let slot = self.conns[peer].as_ref().expect("conn slot");
+        let reader_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(e) => {
+                self.emit(
+                    peer,
+                    Err(TransportError::PeerReset {
+                        peer,
+                        detail: format!("clone failed: {e}"),
+                    }),
+                );
+                return;
+            }
+        };
+        let generation = slot.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        *slot.stream.lock() = Some(stream);
+        slot.stream_cv.notify_all();
+        if generation == 1 {
+            self.metrics.connects.inc();
+            let mut r = self.ready.lock();
+            *r += 1;
+            self.ready_cv.notify_all();
+        } else {
+            self.metrics.reconnects.inc();
+        }
+        let inner = Arc::clone(self);
+        let h = std::thread::Builder::new()
+            .name(format!("ttg-rx-{}-{}", self.me, peer))
+            .spawn(move || inner.reader_loop(peer, reader_half, generation))
+            .expect("spawn transport reader");
+        self.threads.lock().push(h);
+    }
+
+    fn reader_loop(self: Arc<Self>, peer: Rank, mut stream: Stream, generation: u64) {
+        let Some(sink) = self.sink_wait() else { return };
+        let slot = self.conns[peer].as_ref().expect("conn slot");
+        let mut codec = FrameCodec::new();
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => {
+                    let quiet = self.stop.load(Ordering::SeqCst)
+                        || slot.orderly.load(Ordering::SeqCst)
+                        || slot.generation.load(Ordering::SeqCst) != generation;
+                    if !quiet {
+                        sink(
+                            peer,
+                            Err(TransportError::PeerReset {
+                                peer,
+                                detail: "unexpected eof".into(),
+                            }),
+                        );
+                    }
+                    return;
+                }
+                Ok(k) => {
+                    self.metrics.rx_bytes.add(k as u64);
+                    codec.push(&buf[..k]);
+                    loop {
+                        match codec.next() {
+                            Ok(None) => break,
+                            Ok(Some(Frame::Bye { .. })) => {
+                                slot.orderly.store(true, Ordering::SeqCst);
+                                return;
+                            }
+                            Ok(Some(Frame::Hello { .. })) => {
+                                // Handshakes happen before install; a late
+                                // Hello is harmless chatter.
+                            }
+                            Ok(Some(frame)) => sink(peer, Ok(frame)),
+                            Err(e) => {
+                                sink(
+                                    peer,
+                                    Err(TransportError::Framing {
+                                        peer,
+                                        detail: e.to_string(),
+                                    }),
+                                );
+                                return;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    let quiet = self.stop.load(Ordering::SeqCst)
+                        || slot.orderly.load(Ordering::SeqCst)
+                        || slot.generation.load(Ordering::SeqCst) != generation;
+                    if !quiet {
+                        sink(
+                            peer,
+                            Err(TransportError::PeerReset {
+                                peer,
+                                detail: e.to_string(),
+                            }),
+                        );
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn writer_loop(self: Arc<Self>, peer: Rank) {
+        let slot = self.conns[peer].as_ref().expect("conn slot");
+        'items: while let Some(item) = slot.q.pop() {
+            for attempt in 0..2 {
+                // Wait for an established stream (rendezvous may still be
+                // in progress when the first frames are queued).
+                let mut guard = slot.stream.lock();
+                while guard.is_none() && !self.stop.load(Ordering::SeqCst) {
+                    slot.stream_cv
+                        .wait_for(&mut guard, Duration::from_millis(50));
+                }
+                let Some(stream) = guard.as_mut() else {
+                    return; // stopping with no connection: discard
+                };
+                match stream.write_all(&item) {
+                    Ok(()) => {
+                        self.metrics.tx_bytes.add(item.len() as u64);
+                        continue 'items;
+                    }
+                    Err(e) => {
+                        if self.stop.load(Ordering::SeqCst) || slot.orderly.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        // Drop the broken stream so nobody reuses it.
+                        if let Some(s) = guard.take() {
+                            s.shutdown_both();
+                        }
+                        drop(guard);
+                        if attempt == 0 && self.recover(peer) {
+                            continue; // retry the same frame once
+                        }
+                        self.emit(
+                            peer,
+                            Err(TransportError::PeerReset {
+                                peer,
+                                detail: format!("send failed: {e}"),
+                            }),
+                        );
+                        continue 'items; // frame abandoned
+                    }
+                }
+            }
+        }
+    }
+
+    /// Try to re-establish the connection to `peer` after a failure:
+    /// redial if this side originally dialed, otherwise wait briefly for
+    /// the peer to redial into our persistent listener.
+    fn recover(self: &Arc<Self>, peer: Rank) -> bool {
+        let addr = self.addrs.lock()[peer].clone();
+        match addr {
+            Some(addr) if peer < self.me => match self.dial(peer, &addr) {
+                Ok(stream) => {
+                    self.install_stream(peer, stream);
+                    true
+                }
+                Err(_) => false,
+            },
+            _ => {
+                let slot = self.conns[peer].as_ref().expect("conn slot");
+                let deadline = Instant::now() + REPLACE_WAIT;
+                let mut guard = slot.stream.lock();
+                while guard.is_none() && Instant::now() < deadline {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return false;
+                    }
+                    slot.stream_cv
+                        .wait_for(&mut guard, Duration::from_millis(50));
+                }
+                guard.is_some()
+            }
+        }
+    }
+
+    /// Dial `peer` at `addr` with retry (its listener may not be up yet)
+    /// and run the initiator side of the handshake.
+    fn dial(&self, peer: Rank, addr: &AddrSpec) -> Result<Stream, TransportError> {
+        let mut last = String::new();
+        for _ in 0..DIAL_RETRIES {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match addr.connect() {
+                Ok(mut stream) => {
+                    let got = self.handshake(&mut stream, Some(peer))?;
+                    debug_assert_eq!(got, peer);
+                    return Ok(stream);
+                }
+                Err(e) => {
+                    last = e.to_string();
+                    std::thread::sleep(DIAL_PAUSE);
+                }
+            }
+        }
+        Err(TransportError::ConnectRefused { peer, detail: last })
+    }
+
+    /// Exchange `Hello` frames on a fresh stream. Both sides write first,
+    /// then read (frames are tiny; no deadlock through socket buffers).
+    /// Returns the peer's rank; on any disagreement counts a handshake
+    /// failure and returns [`TransportError::HandshakeMismatch`].
+    fn handshake(&self, stream: &mut Stream, expect: Option<Rank>) -> Result<Rank, TransportError> {
+        let fail = |detail: String| {
+            self.metrics.handshake_failures.inc();
+            Err(TransportError::HandshakeMismatch {
+                peer: expect.unwrap_or(usize::MAX),
+                detail,
+            })
+        };
+        stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+        let hello = Frame::Hello {
+            magic: MAGIC,
+            version: PROTOCOL_VERSION,
+            rank: self.me as u32,
+            ranks: self.n as u32,
+        };
+        if let Err(e) = stream.write_all(&hello.encode_vec()) {
+            return fail(format!("hello send failed: {e}"));
+        }
+        let mut codec = FrameCodec::new();
+        let mut buf = [0u8; 256];
+        let frame = loop {
+            match codec.next() {
+                Ok(Some(f)) => break f,
+                Ok(None) => {}
+                Err(e) => return fail(format!("bad hello: {e}")),
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => return fail("peer closed during handshake".into()),
+                Ok(k) => codec.push(&buf[..k]),
+                Err(e) => return fail(format!("hello read failed: {e}")),
+            }
+        };
+        let Frame::Hello {
+            magic,
+            version,
+            rank,
+            ranks,
+        } = frame
+        else {
+            return fail(format!("expected Hello, got {frame:?}"));
+        };
+        if magic != MAGIC {
+            return fail(format!("bad magic {magic:#x}"));
+        }
+        if version != PROTOCOL_VERSION {
+            return fail(format!("protocol version {version} != {PROTOCOL_VERSION}"));
+        }
+        if ranks as usize != self.n {
+            return fail(format!(
+                "peer believes job has {ranks} ranks, not {}",
+                self.n
+            ));
+        }
+        let rank = rank as usize;
+        if rank >= self.n || rank == self.me {
+            return fail(format!("peer claims invalid rank {rank}"));
+        }
+        if let Some(want) = expect {
+            if rank != want {
+                return fail(format!("dialed rank {want} but reached rank {rank}"));
+            }
+        }
+        stream.set_read_timeout(None);
+        Ok(rank)
+    }
+
+    fn accept_loop(self: Arc<Self>) {
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match self.listener.accept() {
+                Ok(mut stream) => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return; // the shutdown dummy-dial
+                    }
+                    match self.handshake(&mut stream, None) {
+                        Ok(peer) => self.install_stream(peer, stream),
+                        Err(_) => {
+                            // Counted in handshake_failures; the stranger's
+                            // stream just drops.
+                        }
+                    }
+                }
+                Err(_) => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+
+    /// Block until `want` peer connections are established.
+    fn wait_ready(&self, want: usize, timeout: Duration) -> Result<(), TransportError> {
+        let deadline = Instant::now() + timeout;
+        let mut r = self.ready.lock();
+        while *r < want {
+            let now = Instant::now();
+            if now >= deadline {
+                let have = *r;
+                drop(r);
+                return Err(TransportError::ConnectRefused {
+                    peer: usize::MAX,
+                    detail: format!("rendezvous timeout: {have}/{want} peers connected"),
+                });
+            }
+            self.ready_cv.wait_for(&mut r, deadline - now);
+        }
+        Ok(())
+    }
+}
+
+/// One rank's endpoint of a TCP or UDS mesh.
+pub struct SocketEndpoint {
+    inner: Arc<Inner>,
+}
+
+impl SocketEndpoint {
+    /// The address this endpoint's listener is bound to (rendezvous and
+    /// tests).
+    pub fn listen_addr(&self) -> AddrSpec {
+        self.inner.listener.addr()
+    }
+}
+
+struct SocketLink {
+    inner: Arc<Inner>,
+    peer: Rank,
+}
+
+impl Link for SocketLink {
+    fn peer(&self) -> Rank {
+        self.peer
+    }
+
+    fn send(&self, frame: Frame) -> Result<(), TransportError> {
+        let slot = self.inner.conns[self.peer].as_ref().expect("conn slot");
+        let bytes = frame.encode_vec();
+        match slot.q.push(bytes) {
+            Ok(depth) => {
+                self.inner.metrics.note_queue_len(self.peer, depth);
+                Ok(())
+            }
+            Err(()) => Err(TransportError::Closed { peer: self.peer }),
+        }
+    }
+}
+
+impl Endpoint for SocketEndpoint {
+    fn rank(&self) -> Rank {
+        self.inner.me
+    }
+
+    fn n_ranks(&self) -> usize {
+        self.inner.n
+    }
+
+    fn kind(&self) -> TransportKind {
+        self.inner.kind
+    }
+
+    fn link(&self, to: Rank) -> Arc<dyn Link> {
+        assert!(
+            to < self.inner.n && to != self.inner.me,
+            "bad link target {to}"
+        );
+        Arc::new(SocketLink {
+            inner: Arc::clone(&self.inner),
+            peer: to,
+        })
+    }
+
+    fn start(&self, sink: Sink) {
+        // Readers poll for the sink; installing it releases them.
+        let _ = self.inner.sink.set(sink);
+    }
+
+    fn shutdown(&self) {
+        let inner = &self.inner;
+        if inner.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Queue a Bye on every link and close the queues: writers flush
+        // everything pending (including the Bye) and exit.
+        let bye = Frame::Bye {
+            from: inner.me as u32,
+        }
+        .encode_vec();
+        for slot in inner.conns.iter().flatten() {
+            slot.q.close_with(Some(bye.clone()));
+            slot.stream_cv.notify_all();
+        }
+        // Unblock the accept loop with a dummy dial to our own listener.
+        let _ = inner.listener.addr().connect();
+        // Give writers a moment to flush, then hard-close the streams so
+        // blocked readers unblock.
+        let threads = std::mem::take(&mut *inner.threads.lock());
+        let deadline = Instant::now() + Duration::from_secs(2);
+        for slot in inner.conns.iter().flatten() {
+            loop {
+                let drained = slot.q.state.lock().items.is_empty();
+                if drained || Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if let Some(s) = slot.stream.lock().take() {
+                s.shutdown_both();
+            }
+        }
+        for t in threads {
+            let _ = t.join();
+        }
+        if let Listener::Uds(_, path) = &inner.listener {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for SocketEndpoint {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn bind_listener(kind: TransportKind, uds_path: Option<PathBuf>) -> std::io::Result<Listener> {
+    Ok(match kind {
+        TransportKind::Tcp => Listener::Tcp(TcpListener::bind(("127.0.0.1", 0))?),
+        TransportKind::Uds => {
+            let path = uds_path.expect("uds listener needs a socket path");
+            let _ = std::fs::remove_file(&path);
+            Listener::Uds(UnixListener::bind(&path)?, path)
+        }
+        TransportKind::InProc => unreachable!("inproc has no listener"),
+    })
+}
+
+fn new_inner(
+    me: Rank,
+    n: usize,
+    kind: TransportKind,
+    listener: Listener,
+    reg: &Registry,
+) -> Arc<Inner> {
+    let inner = Arc::new(Inner {
+        me,
+        n,
+        kind,
+        listener,
+        addrs: Mutex::new(vec![None; n]),
+        conns: (0..n)
+            .map(|p| {
+                (p != me).then(|| ConnSlot {
+                    q: SendQ::new(SEND_QUEUE_CAP),
+                    stream: Mutex::new(None),
+                    stream_cv: Condvar::new(),
+                    generation: AtomicU64::new(0),
+                    orderly: AtomicBool::new(false),
+                })
+            })
+            .collect(),
+        sink: OnceLock::new(),
+        stop: AtomicBool::new(false),
+        metrics: TransportMetrics::register(reg, n),
+        ready: Mutex::new(0),
+        ready_cv: Condvar::new(),
+        threads: Mutex::new(Vec::new()),
+    });
+    // Writer threads exist for the endpoint's lifetime; the accept loop
+    // keeps the listener serving (re)connections.
+    let mut threads = inner.threads.lock();
+    for p in 0..n {
+        if p == me {
+            continue;
+        }
+        let i = Arc::clone(&inner);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("ttg-tx-{me}-{p}"))
+                .spawn(move || i.writer_loop(p))
+                .expect("spawn transport writer"),
+        );
+    }
+    let i = Arc::clone(&inner);
+    threads.push(
+        std::thread::Builder::new()
+            .name(format!("ttg-accept-{me}"))
+            .spawn(move || i.accept_loop())
+            .expect("spawn transport acceptor"),
+    );
+    drop(threads);
+    inner
+}
+
+/// Fresh directory for a mesh/job's Unix sockets and rendezvous files.
+fn scratch_dir(tag: &str) -> std::io::Result<PathBuf> {
+    let base = std::env::temp_dir();
+    for salt in 0.. {
+        let dir = base.join(format!("ttg-{tag}-{}-{salt}", std::process::id()));
+        match std::fs::create_dir(&dir) {
+            Ok(()) => return Ok(dir),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!()
+}
+
+fn io_err(peer: Rank, e: std::io::Error) -> TransportError {
+    TransportError::ConnectRefused {
+        peer,
+        detail: e.to_string(),
+    }
+}
+
+/// Build a fully connected `n`-rank socket mesh inside one process (the
+/// fabric's tier-1 socket mode): every inter-rank frame crosses a real
+/// TCP-loopback or Unix-domain socket. Element `r` is rank `r`'s endpoint;
+/// all share `reg` for transport counters.
+pub fn local_mesh(
+    kind: TransportKind,
+    n: usize,
+    reg: &Registry,
+) -> Result<Vec<Arc<SocketEndpoint>>, TransportError> {
+    let uds_dir = if kind == TransportKind::Uds {
+        Some(scratch_dir("mesh").map_err(|e| io_err(usize::MAX, e))?)
+    } else {
+        None
+    };
+    let mut inners = Vec::with_capacity(n);
+    for me in 0..n {
+        let path = uds_dir.as_ref().map(|d| d.join(format!("rank-{me}.sock")));
+        let listener = bind_listener(kind, path).map_err(|e| io_err(me, e))?;
+        inners.push(new_inner(me, n, kind, listener, reg));
+    }
+    let addrs: Vec<AddrSpec> = inners.iter().map(|i| i.listener.addr()).collect();
+    for i in inners.iter() {
+        let mut a = i.addrs.lock();
+        for (p, addr) in addrs.iter().enumerate() {
+            if p != i.me {
+                a[p] = Some(addr.clone());
+            }
+        }
+    }
+    // Rank i dials every j < i; accepts fill in the rest.
+    for inner in inners.iter() {
+        for j in 0..inner.me {
+            let stream = inner.dial(j, &addrs[j])?;
+            inner.install_stream(j, stream);
+        }
+    }
+    for inner in inners.iter() {
+        inner.wait_ready(n - 1, RENDEZVOUS_TIMEOUT)?;
+    }
+    Ok(inners
+        .into_iter()
+        .map(|inner| Arc::new(SocketEndpoint { inner }))
+        .collect())
+}
+
+/// Atomically publish this rank's address in the rendezvous directory.
+fn write_addr_file(dir: &Path, rank: Rank, addr: &AddrSpec) -> std::io::Result<()> {
+    let tmp = dir.join(format!(".rank-{rank}.addr.tmp"));
+    std::fs::write(&tmp, addr.to_text())?;
+    std::fs::rename(&tmp, dir.join(format!("rank-{rank}.addr")))
+}
+
+/// Poll for a peer's published address.
+fn read_addr_file(dir: &Path, rank: Rank, deadline: Instant) -> Result<AddrSpec, TransportError> {
+    let path = dir.join(format!("rank-{rank}.addr"));
+    loop {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Some(addr) = AddrSpec::parse(&text) {
+                return Ok(addr);
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(TransportError::ConnectRefused {
+                peer: rank,
+                detail: format!("no rendezvous file {} in time", path.display()),
+            });
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Build one rank's endpoint of a **multi-process** job (tier-2): bind a
+/// listener, publish its address in the shared rendezvous directory `dir`,
+/// dial every lower rank as its address appears, and accept every higher
+/// rank. Blocks until the full mesh is up or [`RENDEZVOUS_TIMEOUT`] passes.
+pub fn remote_endpoint(
+    kind: TransportKind,
+    me: Rank,
+    n: usize,
+    dir: &Path,
+    reg: &Registry,
+) -> Result<Arc<SocketEndpoint>, TransportError> {
+    assert!(me < n, "rank {me} out of range for {n} ranks");
+    let path = (kind == TransportKind::Uds).then(|| dir.join(format!("rank-{me}.sock")));
+    let listener = bind_listener(kind, path).map_err(|e| io_err(me, e))?;
+    let addr = listener.addr();
+    let inner = new_inner(me, n, kind, listener, reg);
+    write_addr_file(dir, me, &addr).map_err(|e| io_err(me, e))?;
+    let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+    for j in 0..me {
+        let peer_addr = read_addr_file(dir, j, deadline)?;
+        inner.addrs.lock()[j] = Some(peer_addr.clone());
+        let stream = inner.dial(j, &peer_addr)?;
+        inner.install_stream(j, stream);
+    }
+    inner.wait_ready(n.saturating_sub(1), RENDEZVOUS_TIMEOUT)?;
+    Ok(Arc::new(SocketEndpoint { inner }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+    use ttg_telemetry::MetricKey;
+
+    fn collect_sink() -> (Sink, Arc<PMutex<Vec<(Rank, Frame)>>>) {
+        let got: Arc<PMutex<Vec<(Rank, Frame)>>> = Arc::new(PMutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        let sink: Sink = Arc::new(move |src, ev| {
+            if let Ok(f) = ev {
+                g.lock().push((src, f));
+            }
+        });
+        (sink, got)
+    }
+
+    fn wait_for<F: Fn() -> bool>(cond: F, what: &str) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timeout waiting for {what}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    fn mesh_roundtrip(kind: TransportKind) {
+        let reg = Registry::new();
+        let eps = local_mesh(kind, 3, &reg).expect("mesh");
+        let mut gots = Vec::new();
+        for ep in &eps {
+            let (sink, got) = collect_sink();
+            ep.start(sink);
+            gots.push(got);
+        }
+        // 0 -> 2 ordered burst, 2 -> 0 single, 1 -> 0 single.
+        for seq in 1..=20u64 {
+            eps[0]
+                .link(2)
+                .send(Frame::Am {
+                    from: 0,
+                    handler: 9,
+                    seq,
+                    payload: vec![seq as u8; 100],
+                })
+                .unwrap();
+        }
+        eps[2].link(0).send(Frame::Ack { from: 2, seq: 1 }).unwrap();
+        eps[1].link(0).send(Frame::Ack { from: 1, seq: 2 }).unwrap();
+        wait_for(|| gots[2].lock().len() == 20, "rank 2 frames");
+        wait_for(|| gots[0].lock().len() == 2, "rank 0 frames");
+        // Per-link FIFO: rank 2 sees 0's burst in sequence order.
+        let r2 = gots[2].lock();
+        for (i, (src, f)) in r2.iter().enumerate() {
+            assert_eq!(*src, 0);
+            match f {
+                Frame::Am { seq, payload, .. } => {
+                    assert_eq!(*seq, i as u64 + 1);
+                    assert_eq!(payload.len(), 100);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        drop(r2);
+        // Telemetry: connections were counted, bytes moved, hwm recorded.
+        let snap = reg.snapshot();
+        assert!(snap.counter(&MetricKey::global("transport", "connects")) >= 3);
+        assert!(snap.counter(&MetricKey::global("transport", "tx_bytes")) > 2000);
+        assert!(snap.counter(&MetricKey::global("transport", "rx_bytes")) > 2000);
+        assert!(
+            reg.gauge(MetricKey::ranked(2, "transport", "send_queue_hwm"))
+                .get()
+                >= 1
+        );
+        for ep in &eps {
+            ep.shutdown();
+        }
+    }
+
+    #[test]
+    fn tcp_mesh_roundtrip_ordered() {
+        mesh_roundtrip(TransportKind::Tcp);
+    }
+
+    #[test]
+    fn uds_mesh_roundtrip_ordered() {
+        mesh_roundtrip(TransportKind::Uds);
+    }
+
+    #[test]
+    fn handshake_mismatch_is_counted_and_refused() {
+        let reg = Registry::new();
+        let eps = local_mesh(TransportKind::Tcp, 2, &reg).expect("mesh");
+        let (sink, _got) = collect_sink();
+        eps[0].start(sink);
+        let AddrSpec::Tcp(addr) = eps[0].listen_addr() else {
+            panic!("tcp addr")
+        };
+        // A stranger with the wrong magic dials rank 0's listener.
+        let mut s = TcpStream::connect(addr).unwrap();
+        let bad = Frame::Hello {
+            magic: 0xDEAD_BEEF,
+            version: PROTOCOL_VERSION,
+            rank: 1,
+            ranks: 2,
+        };
+        s.write_all(&bad.encode_vec()).unwrap();
+        wait_for(
+            || {
+                reg.snapshot()
+                    .counter(&MetricKey::global("transport", "handshake_failures"))
+                    >= 1
+            },
+            "handshake failure count",
+        );
+        // The stranger's connection is dropped (EOF on read).
+        let mut buf = [0u8; 64];
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        loop {
+            match s.read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue, // the listener's own Hello reply
+                Err(e) => panic!("expected EOF, got {e}"),
+            }
+        }
+        for ep in &eps {
+            ep.shutdown();
+        }
+    }
+
+    #[test]
+    fn version_skew_is_refused() {
+        let reg = Registry::new();
+        let eps = local_mesh(TransportKind::Tcp, 2, &reg).expect("mesh");
+        let AddrSpec::Tcp(addr) = eps[1].listen_addr() else {
+            panic!("tcp addr")
+        };
+        let mut s = TcpStream::connect(addr).unwrap();
+        let skewed = Frame::Hello {
+            magic: MAGIC,
+            version: PROTOCOL_VERSION + 1,
+            rank: 0,
+            ranks: 2,
+        };
+        s.write_all(&skewed.encode_vec()).unwrap();
+        wait_for(
+            || {
+                reg.snapshot()
+                    .counter(&MetricKey::global("transport", "handshake_failures"))
+                    >= 1
+            },
+            "version-skew refusal",
+        );
+        for ep in &eps {
+            ep.shutdown();
+        }
+    }
+
+    #[test]
+    fn closed_link_reports_structured_error() {
+        let reg = Registry::new();
+        let eps = local_mesh(TransportKind::Tcp, 2, &reg).expect("mesh");
+        eps[0].shutdown();
+        let err = eps[0].link(1).send(Frame::TermDone).unwrap_err();
+        assert_eq!(err, TransportError::Closed { peer: 1 });
+        eps[1].shutdown();
+    }
+
+    #[test]
+    fn addr_spec_text_roundtrip() {
+        let t = AddrSpec::Tcp("127.0.0.1:4455".parse().unwrap());
+        assert_eq!(AddrSpec::parse(&t.to_text()), Some(t));
+        let u = AddrSpec::Uds(PathBuf::from("/tmp/x.sock"));
+        assert_eq!(AddrSpec::parse(&u.to_text()), Some(u));
+        assert_eq!(AddrSpec::parse("carrier-pigeon:coop"), None);
+    }
+}

@@ -37,6 +37,7 @@ fn main() {
         trace: false,
         drop_tol: 1e-8,
         faults: None,
+        transport: ttg::comm::TransportSpec::from_args(),
     };
     let (c, report) = bspmm::run(a, a, &cfg);
 

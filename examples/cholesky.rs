@@ -10,7 +10,7 @@
 //! asserts the injection actually fired (`am_retries > 0`).
 
 use ttg::apps::cholesky::{self, ttg as chol};
-use ttg::comm::FaultPlan;
+use ttg::comm::{FaultPlan, TransportSpec};
 use ttg::linalg::TiledMatrix;
 use ttg::simnet::{des::from_core_trace, simulate, MachineModel};
 
@@ -18,6 +18,8 @@ fn main() {
     // `--check` verifies the graph before each run (see ttg::check).
     ttg::check::enable_from_args();
     let faults = FaultPlan::from_args();
+    // `--transport tcp|uds` carries inter-rank frames over real sockets.
+    let transport = TransportSpec::from_args();
     let nt = 8;
     let nb = 32;
     let a = TiledMatrix::random_spd(nt, nb, 42);
@@ -42,6 +44,7 @@ fn main() {
             trace: true,
             priorities: true,
             faults: faults.clone(),
+            transport: transport.clone(),
         };
         let (l, report) = chol::run(&a, &cfg);
         let residual = cholesky::residual(&a, &l);

@@ -27,6 +27,7 @@ fn main() {
         trace: true,
         priorities: true,
         faults: None,
+        transport: ttg::comm::TransportSpec::InProc,
     };
     let (l, report) = chol::run(&a, &cfg);
     assert!(cholesky::residual(&a, &l) < 1e-8);

@@ -18,3 +18,4 @@ pub use ttg_runtime as runtime;
 pub use ttg_simnet as simnet;
 pub use ttg_sparse as sparse;
 pub use ttg_telemetry as telemetry;
+pub use ttg_transport as transport;

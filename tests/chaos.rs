@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use ttg::apps::{bspmm, cholesky};
-use ttg::comm::{CommErrorKind, FaultPlan, RetryPolicy};
+use ttg::comm::{CommErrorKind, FaultPlan, RetryPolicy, TransportSpec};
 use ttg::linalg::TiledMatrix;
 use ttg::sparse::{generate, YukawaParams};
 
@@ -41,6 +41,7 @@ fn cholesky_chaos_sweep_matches_fault_free_on_both_backends() {
             trace: false,
             priorities: true,
             faults: None,
+            transport: TransportSpec::InProc,
         };
         let (l_clean, r_clean) = cholesky::ttg::run(&a, &clean_cfg);
 
@@ -107,6 +108,7 @@ fn bspmm_chaos_sweep_matches_fault_free() {
         trace: false,
         drop_tol: 1e-8,
         faults: None,
+        transport: TransportSpec::InProc,
     };
     let (c_clean, r_clean) = bspmm::ttg::run(a, a, &clean_cfg);
 
@@ -143,6 +145,7 @@ fn dedup_hits_surface_under_forced_duplication() {
         trace: false,
         priorities: true,
         faults: Some(FaultPlan::seeded(5).with_dup(1.0)),
+        transport: TransportSpec::InProc,
     };
     let (l, report) = cholesky::ttg::run(&a, &cfg);
     let mut reference = a.clone();
@@ -176,6 +179,7 @@ fn killed_rank_reports_comm_error_within_deadline() {
         trace: false,
         priorities: true,
         faults: Some(plan),
+        transport: TransportSpec::InProc,
     };
     let started = std::time::Instant::now();
     let (_l, report) = cholesky::ttg::run(&a, &cfg);
@@ -192,4 +196,41 @@ fn killed_rank_reports_comm_error_within_deadline() {
         report.comm_errors
     );
     assert!(report.comm.am_retry_exhausted > 0);
+}
+
+#[test]
+fn cholesky_chaos_over_tcp_transport_matches_clean_run() {
+    // The full stack at once: fault injection (drop + dup + retry) running
+    // ABOVE the TCP socket mesh — the reliable layer must restore
+    // exactly-once delivery while every chaos-surviving frame crosses a
+    // real socket. Results stay bit-identical to the clean channel run.
+    let a = TiledMatrix::random_spd(6, 8, 2024);
+    let clean_cfg = cholesky::ttg::Config {
+        ranks: 4,
+        workers: 2,
+        backend: ttg::parsec::backend(),
+        trace: false,
+        priorities: true,
+        faults: None,
+        transport: TransportSpec::InProc,
+    };
+    let (l_clean, _) = cholesky::ttg::run(&a, &clean_cfg);
+
+    let cfg = cholesky::ttg::Config {
+        faults: Some(chaos_plan(42)),
+        transport: TransportSpec::Tcp,
+        ..clean_cfg
+    };
+    let (l, report) = cholesky::ttg::run(&a, &cfg);
+    assert_eq!(
+        l.max_abs_diff(&l_clean),
+        0.0,
+        "chaos over TCP changed the factor"
+    );
+    assert!(report.comm.am_retries > 0, "injection inert over TCP");
+    assert!(
+        report.comm.transport_tx_bytes > 0,
+        "chaos frames never touched the socket"
+    );
+    assert!(report.comm_errors.is_empty(), "{:?}", report.comm_errors);
 }

@@ -2,6 +2,7 @@
 //! every other and against serial references, across ranks and backends.
 
 use ttg::apps::{bspmm, cholesky, floyd_warshall as fw, mra};
+use ttg::comm::TransportSpec;
 use ttg::linalg::TiledMatrix;
 use ttg::simnet::{simulate, MachineModel};
 use ttg::sparse::{generate, YukawaParams};
@@ -21,6 +22,7 @@ fn cholesky_all_implementations_agree() {
             trace: false,
             priorities: true,
             faults: None,
+            transport: TransportSpec::InProc,
         };
         let (l, _) = cholesky::ttg::run(&a, &cfg);
         assert!(l.max_abs_diff(&reference) < 1e-9);
@@ -75,6 +77,7 @@ fn bspmm_all_implementations_agree() {
             trace: false,
             drop_tol: 1e-8,
             faults: None,
+            transport: TransportSpec::InProc,
         };
         let (c, _) = bspmm::ttg::run(&a, &a, &cfg);
         assert!(c.max_abs_diff(&expect) < 1e-10);
@@ -127,6 +130,7 @@ fn projected_scaling_shapes_hold() {
         trace: true,
         priorities: true,
         faults: None,
+        transport: TransportSpec::InProc,
     };
     let (_, report) = cholesky::ttg::run(&a, &cfg);
     let machine = MachineModel::hawk(nodes);
@@ -198,6 +202,7 @@ fn splitmd_only_on_parsec_backend() {
             trace: false,
             priorities: false,
             faults: None,
+            transport: TransportSpec::InProc,
         };
         cholesky::ttg::run(&a, &cfg).1.comm
     };

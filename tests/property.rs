@@ -284,6 +284,7 @@ fn bspmm_random_sparsity_matches_reference() {
             trace: false,
             drop_tol: 0.0,
             faults: None,
+            transport: ttg::comm::TransportSpec::InProc,
         };
         let (c, _) = ttg::apps::bspmm::ttg::run(&a, &a, &cfg);
         assert!(c.max_abs_diff(&expect) < 1e-10, "case {case}");
