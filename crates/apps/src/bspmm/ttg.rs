@@ -247,6 +247,7 @@ pub fn run(a: &BlockSparse, b: &BlockSparse, cfg: &Config) -> (BlockSparse, Exec
             faults: None,
             delivery_deadline: None,
             transport: cfg.transport.clone(),
+            sched_seed: None,
         };
         if let Some(plan) = cfg.faults.clone() {
             ec = ec.with_faults(plan);

@@ -246,6 +246,7 @@ pub fn run(a: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
             faults: None,
             delivery_deadline: None,
             transport: cfg.transport.clone(),
+            sched_seed: None,
         };
         if let Some(plan) = cfg.faults.clone() {
             ec = ec.with_faults(plan);

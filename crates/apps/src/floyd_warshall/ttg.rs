@@ -216,6 +216,7 @@ pub fn run(m: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
             faults: None,
             delivery_deadline: None,
             transport: TransportSpec::InProc,
+            sched_seed: None,
         },
     );
     let seed = initiator.in_ref::<0>();

@@ -261,6 +261,7 @@ pub fn run(w: &Workload, cfg: &Config) -> MraResult {
             faults: None,
             delivery_deadline: None,
             transport: TransportSpec::InProc,
+            sched_seed: None,
         },
     );
     let seed = project.in_ref::<0>();

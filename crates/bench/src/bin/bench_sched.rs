@@ -1,0 +1,297 @@
+//! Scheduler policy lab: sweep the pluggable simnet dispatch policies
+//! (DESIGN §10) across the four paper applications at simulated 16–256
+//! nodes and emit a makespan / wakeup / steal-rate table.
+//!
+//! Each application runs once per node count on the in-process fabric
+//! (`workers = 1`, trace on); the recorded trace is then replayed under
+//! every [`SchedPolicy`] on a Hawk-like model with a reduced core count
+//! (backlog is what differentiates schedulers — with 60 idle cores per
+//! node every policy degenerates to FIFO). Policies:
+//!
+//! * `fifo` — no stealing, ready order (the legacy simulator).
+//! * `random_steal` — pure random-victim work stealing (baseline).
+//! * `locality_steal` — steals the candidate whose input `Arc`s need the
+//!   fewest bytes moved to the thief.
+//! * `prio_age` — priority first, data age (ready time) as tiebreak.
+//! * `batched` — groups same-completion successors into one wakeup,
+//!   random-victim stealing.
+//! * `local_batch` — batched activation + locality-aware stealing; the
+//!   combination promoted into the real `WorkerPool`.
+//!
+//! Emits `results/bench_sched.json` (one row per app × nodes × policy).
+//! `--smoke` shrinks the apps for CI and gates on the promoted behaviors
+//! actually firing: batched policies must batch (`tasks_batched > 0`) and
+//! locality stealing must find zero-move victims (`local_hits > 0`) on
+//! cholesky. The full run asserts the acceptance criterion: `local_batch`
+//! beats `random_steal` on makespan for at least two apps at ≥ 64 nodes.
+
+use ttg_apps::bspmm::ttg as bspmm_ttg;
+use ttg_apps::cholesky::ttg as chol;
+use ttg_apps::floyd_warshall::{self as fw, ttg as fw_ttg};
+use ttg_apps::mra::{ttg as mra_ttg, Workload};
+use ttg_bench::{print_table, Series};
+use ttg_core::BackendSpec;
+use ttg_linalg::TiledMatrix;
+use ttg_simnet::{
+    from_core_trace, simulate_policy, Batched, Fifo, LocalBatch, LocalitySteal, MachineModel,
+    PrioAge, RandomSteal, SchedPolicy, SimResult, TraceTask,
+};
+use ttg_sparse::{generate, YukawaParams};
+
+/// Seed for matrices, workloads, and the stealing RNG streams.
+const SEED: u64 = 7;
+
+/// Simulated cores per node: small enough that ready queues actually
+/// back up at these problem sizes (see module docs).
+const CORES: usize = 4;
+
+const APPS: [&str; 4] = ["cholesky", "bspmm", "floyd_warshall", "mra"];
+
+struct Config {
+    smoke: bool,
+    out: String,
+    nodes: Vec<usize>,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let mut smoke = false;
+        let mut out = String::from("results/bench_sched.json");
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--smoke" => smoke = true,
+                "--out" => out = args.next().expect("--out needs a path"),
+                other => {
+                    eprintln!("unknown flag {other}; known: --smoke, --out <path>");
+                    std::process::exit(2);
+                }
+            }
+        }
+        let nodes = if smoke { vec![16] } else { vec![16, 64, 256] };
+        Config { smoke, out, nodes }
+    }
+}
+
+/// Fresh policy set for one (app, nodes) cell — steal RNG streams are
+/// stateful, so every cell replays from the same seed.
+fn policies() -> Vec<Box<dyn SchedPolicy>> {
+    vec![
+        Box::new(Fifo),
+        Box::new(RandomSteal::seeded(SEED)),
+        Box::new(LocalitySteal),
+        Box::new(PrioAge),
+        Box::new(Batched::seeded(SEED)),
+        Box::new(LocalBatch),
+    ]
+}
+
+/// Run one application for real at `ranks` processes (one worker each,
+/// trace on) and return the projectable trace.
+fn record(app: &str, ranks: usize, smoke: bool, backend: &BackendSpec) -> Vec<TraceTask> {
+    let trace = match app {
+        "cholesky" => {
+            let nt = if smoke { 12 } else { 24 };
+            let a = TiledMatrix::random_spd(nt, 32, SEED);
+            let cfg = chol::Config {
+                ranks,
+                workers: 1,
+                backend: backend.clone(),
+                trace: true,
+                priorities: true,
+                faults: None,
+                transport: ttg_comm::TransportSpec::InProc,
+            };
+            let (_, report) = chol::run(&a, &cfg);
+            report.trace.expect("cholesky trace")
+        }
+        "bspmm" => {
+            let params = YukawaParams {
+                atoms: if smoke { 40 } else { 120 },
+                clusters: 8,
+                extent: 100.0,
+                funcs_per_atom: (8, 16),
+                target_tile: 64,
+                screening: 5.0,
+                drop_tol: 1e-8,
+                seed: SEED,
+            };
+            let y = generate(&params);
+            let a = &y.matrix;
+            let cfg = bspmm_ttg::Config {
+                ranks,
+                workers: 1,
+                backend: backend.clone(),
+                trace: true,
+                drop_tol: 1e-8,
+                faults: None,
+                transport: ttg_comm::TransportSpec::InProc,
+            };
+            let (_, report) = bspmm_ttg::run(a, a, &cfg);
+            report.trace.expect("bspmm trace")
+        }
+        "floyd_warshall" => {
+            let nb = 32;
+            let nt = if smoke { 8 } else { 16 };
+            let g = fw::random_graph(nt, nb, 0.25, SEED);
+            let cfg = fw_ttg::Config {
+                ranks,
+                workers: 1,
+                backend: backend.clone(),
+                trace: true,
+            };
+            let (_, report) = fw_ttg::run(&g, &cfg);
+            report.trace.expect("fw trace")
+        }
+        "mra" => {
+            let w = Workload::gaussians(if smoke { 6 } else { 12 }, 6, 1500.0, 3e-5, 4);
+            let cfg = mra_ttg::Config {
+                ranks,
+                workers: 1,
+                backend: backend.clone(),
+                trace: true,
+            };
+            let res = mra_ttg::run(&w, &cfg);
+            res.report.trace.expect("mra trace")
+        }
+        other => unreachable!("unknown app {other}"),
+    };
+    from_core_trace(&trace)
+}
+
+fn json_row(app: &str, nodes: usize, policy: &str, r: &SimResult) -> String {
+    format!(
+        "{{\"app\":\"{}\",\"nodes\":{},\"policy\":\"{}\",\"makespan_ns\":{},\
+         \"tasks\":{},\"utilization\":{:.4},\"network_bytes\":{},\
+         \"wakeups\":{},\"tasks_batched\":{},\"steals\":{},\"steal_misses\":{},\
+         \"local_hits\":{},\"steal_moved_bytes\":{}}}",
+        app,
+        nodes,
+        policy,
+        r.makespan_ns,
+        r.tasks,
+        r.utilization,
+        r.network_bytes,
+        r.sched.wakeups,
+        r.sched.tasks_batched,
+        r.sched.steals,
+        r.sched.steal_misses,
+        r.sched.local_hits,
+        r.sched.steal_moved_bytes,
+    )
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let backend = ttg_parsec::backend();
+    println!(
+        "bench_sched ({} mode, nodes {:?}, {CORES} simulated cores/node)",
+        if cfg.smoke { "smoke" } else { "full" },
+        cfg.nodes,
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    // (app, nodes, policy) -> makespan, for the acceptance check.
+    let mut makespans: Vec<(String, usize, String, u64)> = Vec::new();
+
+    for app in APPS {
+        let mut series: Vec<Series> = policies().iter().map(|p| Series::new(p.name())).collect();
+        for &nodes in &cfg.nodes {
+            eprintln!("bench_sched: {app} @ {nodes} nodes…");
+            let tasks = record(app, nodes, cfg.smoke, &backend);
+            let machine = MachineModel::hawk(nodes)
+                .with_cores(CORES)
+                .with_backend_overheads(backend.msg_overhead_ns, backend.task_overhead_ns);
+            for (i, mut policy) in policies().into_iter().enumerate() {
+                let r = simulate_policy(&tasks, &machine, policy.as_mut(), None);
+                assert_eq!(r.tasks, tasks.len(), "{app}: policy lost tasks");
+                series[i].push(nodes as f64, r.makespan_ns as f64 / 1e6);
+                eprintln!(
+                    "  {:>14}: {:>9.2} ms  wakeups={} batched={} steals={} misses={} local={} moved={}",
+                    policy.name(),
+                    r.makespan_ns as f64 / 1e6,
+                    r.sched.wakeups,
+                    r.sched.tasks_batched,
+                    r.sched.steals,
+                    r.sched.steal_misses,
+                    r.sched.local_hits,
+                    r.sched.steal_moved_bytes,
+                );
+                rows.push(json_row(app, nodes, policy.name(), &r));
+                makespans.push((
+                    app.to_string(),
+                    nodes,
+                    policy.name().to_string(),
+                    r.makespan_ns,
+                ));
+                if cfg.smoke && app == "cholesky" {
+                    if policy.batches() {
+                        assert!(
+                            r.sched.tasks_batched > 0,
+                            "{}: batching policy never batched",
+                            policy.name()
+                        );
+                    }
+                    if policy.name() == "locality_steal" || policy.name() == "local_batch" {
+                        assert!(
+                            r.sched.local_hits > 0,
+                            "{}: locality stealing found no zero-move victims",
+                            policy.name()
+                        );
+                    }
+                }
+            }
+        }
+        print_table(
+            &format!("bench_sched — {app} ({} tasks/node backlog model)", CORES),
+            "nodes",
+            "projected makespan [ms] (lower is better)",
+            &series,
+        );
+    }
+
+    // Acceptance: the promoted policy must beat the pure random-steal
+    // baseline on makespan for at least two apps at ≥ 64 nodes.
+    if !cfg.smoke {
+        let mut winners: Vec<String> = Vec::new();
+        for app in APPS {
+            let beat = cfg.nodes.iter().any(|&n| {
+                n >= 64 && {
+                    let get = |p: &str| {
+                        makespans
+                            .iter()
+                            .find(|(a, nn, pp, _)| a == app && *nn == n && pp == p)
+                            .map(|(_, _, _, m)| *m)
+                            .unwrap()
+                    };
+                    get("local_batch") < get("random_steal")
+                }
+            });
+            if beat {
+                winners.push(app.to_string());
+            }
+        }
+        println!("local_batch beats random_steal at ≥64 nodes on: {winners:?}");
+        assert!(
+            winners.len() >= 2,
+            "promoted policy must win on ≥2 apps at ≥64 nodes, got {winners:?}"
+        );
+    }
+
+    let doc = format!(
+        "{{\"benchmark\":\"bench_sched\",\"smoke\":{},\"seed\":{},\"cores_per_node\":{},\
+         \"results\":[{}]}}",
+        cfg.smoke,
+        SEED,
+        CORES,
+        rows.join(","),
+    );
+    debug_assert!(ttg_telemetry::json::validate(&doc).is_ok());
+    if let Some(dir) = std::path::Path::new(&cfg.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(&cfg.out, &doc).expect("write bench json");
+    println!("wrote {} ({} rows)", cfg.out, rows.len());
+}

@@ -130,8 +130,9 @@ fn bench_matching_insert(c: &mut Criterion, keys_per_thread: usize, threads: usi
 
 /// Scheduler submit/steal throughput: one producer floods a 4-worker
 /// work-stealing pool with trivial jobs, measuring submit overhead plus the
-/// injector-refill/steal/park machinery end to end.
-fn bench_sched_submit(c: &mut Criterion, jobs: usize) -> Summary {
+/// injector-refill/steal/park machinery end to end. Also returns the
+/// wake announcements paid per executed task (≈ 1 on this path).
+fn bench_sched_submit(c: &mut Criterion, jobs: usize) -> (Summary, f64) {
     let q = Arc::new(Quiescence::new());
     let pool = WorkerPool::new(4, SchedulerKind::WorkStealing, Arc::clone(&q), "bench");
     let summary = c.bench_summary(
@@ -151,8 +152,51 @@ fn bench_sched_submit(c: &mut Criterion, jobs: usize) -> Summary {
             })
         },
     );
+    let wakeups_per_task = pool.wakeups() as f64 / pool.executed().max(1) as f64;
     pool.shutdown();
-    summary
+    (summary, wakeups_per_task)
+}
+
+/// Batched submit throughput (the promoted `local_batch` activation path):
+/// the same flood submitted as `group`-sized `submit_batch` calls, so each
+/// successor group costs one wake-sequence bump instead of one per job.
+/// Returns the measured wakeups per executed task (≈ 1/`group`).
+fn bench_sched_batch(c: &mut Criterion, jobs: usize, group: usize) -> (Summary, f64) {
+    let q = Arc::new(Quiescence::new());
+    let pool = WorkerPool::new(
+        4,
+        SchedulerKind::WorkStealing,
+        Arc::clone(&q),
+        "bench-batch",
+    );
+    let summary = c.bench_summary(
+        format!("sched/submit_batch{group}/4w"),
+        Some(Throughput::Elements(jobs as u64)),
+        |b| {
+            b.iter(|| {
+                let counter = Arc::new(AtomicUsize::new(0));
+                let mut sent = 0;
+                while sent < jobs {
+                    let n = group.min(jobs - sent);
+                    let batch: Vec<Job> = (0..n)
+                        .map(|_| {
+                            let c = Arc::clone(&counter);
+                            Job::new(move || {
+                                c.fetch_add(1, Ordering::Relaxed);
+                            })
+                        })
+                        .collect();
+                    pool.submit_batch(batch);
+                    sent += n;
+                }
+                q.wait_quiescent();
+                assert_eq!(counter.load(Ordering::Relaxed), jobs);
+            })
+        },
+    );
+    let wakeups_per_task = pool.wakeups() as f64 / pool.executed().max(1) as f64;
+    pool.shutdown();
+    (summary, wakeups_per_task)
 }
 
 /// Priority-path scheduler throughput: every submitted job carries a
@@ -294,7 +338,31 @@ fn main() {
         bench_matching_insert(&mut c, cfg.insert_keys, INSERT_THREADS),
         bench_matching_insert(&mut c, cfg.insert_keys, 1),
     ];
-    summaries.push(bench_sched_submit(&mut c, cfg.sched_jobs));
+    let (submit, wpt_unbatched) = bench_sched_submit(&mut c, cfg.sched_jobs);
+    let submit_mean = submit.mean_ns;
+    summaries.push(submit);
+    let (batch, wpt_batched) = bench_sched_batch(&mut c, cfg.sched_jobs, 16);
+    let batch_mean = batch.mean_ns;
+    summaries.push(batch);
+    println!(
+        "  wakeups/task: unbatched {wpt_unbatched:.3}, batched(16) {wpt_batched:.3} \
+         ({:.1}× fewer); batch throughput {:+.1}% vs submit",
+        wpt_unbatched / wpt_batched.max(1e-9),
+        (submit_mean / batch_mean - 1.0) * 100.0,
+    );
+    // Promotion acceptance: batched activation must measurably cut wake
+    // announcements per task, and must not regress submit throughput
+    // (generous slack — the pools are identical apart from announce_batch).
+    assert!(
+        wpt_batched < wpt_unbatched * 0.5,
+        "batched submit did not reduce wakeups/task: {wpt_batched:.3} vs {wpt_unbatched:.3}"
+    );
+    if !cfg.smoke {
+        assert!(
+            batch_mean <= submit_mean * 1.3,
+            "batched submit regressed throughput: {batch_mean:.0}ns vs {submit_mean:.0}ns"
+        );
+    }
     summaries.push(bench_sched_priority(&mut c, cfg.sched_jobs / 5));
     let (enc, dec) = bench_wire_vec(&mut c, cfg.wire_elems);
     summaries.push(enc);
@@ -307,7 +375,11 @@ fn main() {
         if cfg.smoke { 4 } else { 64 },
     ));
 
-    let rows: Vec<String> = summaries.iter().map(json_row).collect();
+    let mut rows: Vec<String> = summaries.iter().map(json_row).collect();
+    rows.push(format!(
+        "{{\"name\":\"sched/wakeups_per_task\",\"unbatched\":{wpt_unbatched:.4},\
+         \"batched16\":{wpt_batched:.4}}}"
+    ));
     let doc = format!(
         "{{\"benchmark\":\"hotpath_micro\",\"smoke\":{},\"results\":[{}]}}",
         cfg.smoke,

@@ -330,6 +330,9 @@ pub struct FabricStats {
     transport_handshake_failures: Counter,
     /// Per-peer send-queue high-water marks (frames).
     transport_queue_hwm: Vec<Gauge>,
+    /// Per-rank scheduler ready-queue high-water marks (jobs on one
+    /// worker's queues).
+    sched_ready_hwm: Vec<Gauge>,
 }
 
 /// Plain snapshot of [`FabricStats`] counters.
@@ -383,6 +386,9 @@ pub struct StatsSnapshot {
     pub transport_handshake_failures: u64,
     /// Highest per-peer send-queue depth observed (frames).
     pub transport_queue_hwm: u64,
+    /// Highest single-worker ready-queue depth observed across ranks
+    /// (jobs; mirrors `transport_queue_hwm` for the scheduler).
+    pub sched_ready_hwm: u64,
 }
 
 impl FabricStats {
@@ -425,6 +431,11 @@ impl FabricStats {
             transport_queue_hwm: (0..n)
                 .map(|r| reg.gauge(MetricKey::ranked(r, "transport", "send_queue_hwm")))
                 .collect(),
+            // Same keys the per-rank worker pools register under: the
+            // registry dedups, so these handles share the pools' cells.
+            sched_ready_hwm: (0..n)
+                .map(|r| reg.gauge(MetricKey::ranked(r, "sched", "ready_hwm")))
+                .collect(),
         }
     }
 
@@ -456,6 +467,12 @@ impl FabricStats {
             transport_handshake_failures: self.transport_handshake_failures.get(),
             transport_queue_hwm: self
                 .transport_queue_hwm
+                .iter()
+                .map(|g| g.get().max(0) as u64)
+                .max()
+                .unwrap_or(0),
+            sched_ready_hwm: self
+                .sched_ready_hwm
                 .iter()
                 .map(|g| g.get().max(0) as u64)
                 .max()

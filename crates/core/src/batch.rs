@@ -1,0 +1,95 @@
+//! Batched successor activation.
+//!
+//! When a task body (or an AM delivery on the comm thread) completes, the
+//! nodes it fed may launch several newly ready tasks — and each launch
+//! used to pay its own pool submit, with its own wake-announcement round
+//! trip through the pool's sleep lock. A [`BatchScope`] collects the jobs
+//! spawned while a parent work item runs in thread-local storage and
+//! flushes them on drop as one `submit_batch` per destination rank: one
+//! `wake_seq` bump covers the whole successor group (Taskflow-style
+//! batched notification, promoted from the simnet policy lab).
+//!
+//! Quiescence stays airtight: jobs are buffered only while the parent
+//! work item is still active (its own quiescence unit — or the in-flight
+//! packet on the comm thread — is not released until after the scope
+//! drops and `submit_batch` has registered every child).
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::ctx::RuntimeCtx;
+
+thread_local! {
+    /// Jobs spawned under the innermost active scope on this thread,
+    /// tagged with their destination rank. `None` when no scope is active.
+    static PENDING: RefCell<Option<Vec<(usize, ttg_runtime::Job)>>> =
+        const { RefCell::new(None) };
+}
+
+/// RAII guard that batches successor submissions on the current thread.
+/// Re-entrant: nested scopes are no-ops and the outermost one flushes.
+pub(crate) struct BatchScope {
+    ctx: Arc<RuntimeCtx>,
+    owner: bool,
+}
+
+impl BatchScope {
+    /// Open a scope; until it drops, [`enqueue`] buffers instead of
+    /// submitting.
+    pub(crate) fn enter(ctx: &Arc<RuntimeCtx>) -> Self {
+        let owner = PENDING.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.is_none() {
+                *p = Some(Vec::new());
+                true
+            } else {
+                false
+            }
+        });
+        BatchScope {
+            ctx: Arc::clone(ctx),
+            owner,
+        }
+    }
+}
+
+impl Drop for BatchScope {
+    fn drop(&mut self) {
+        if !self.owner {
+            return;
+        }
+        let jobs = PENDING.with(|p| p.borrow_mut().take()).unwrap_or_default();
+        if jobs.is_empty() {
+            return;
+        }
+        // Group by destination rank, preserving spawn order within each.
+        let mut groups: Vec<(usize, Vec<ttg_runtime::Job>)> = Vec::new();
+        for (rank, job) in jobs {
+            match groups.iter_mut().find(|g| g.0 == rank) {
+                Some(g) => g.1.push(job),
+                None => groups.push((rank, vec![job])),
+            }
+        }
+        for (rank, group) in groups {
+            self.ctx.pool(rank).submit_batch(group);
+        }
+    }
+}
+
+/// Route a spawned job: buffered when a batch scope is active on this
+/// thread, direct submit otherwise (external seeds, user threads).
+pub(crate) fn enqueue(rank: usize, job: ttg_runtime::Job, ctx: &Arc<RuntimeCtx>) {
+    let unbuffered = PENDING.with(|p| {
+        let mut p = p.borrow_mut();
+        match p.as_mut() {
+            Some(v) => {
+                v.push((rank, job));
+                None
+            }
+            None => Some(job),
+        }
+    });
+    if let Some(job) = unbuffered {
+        ctx.pool(rank).submit(job);
+    }
+}

@@ -41,6 +41,11 @@ pub struct ExecConfig {
     /// (default), a socket mesh (tcp/uds), or one rank of a multi-process
     /// job (DESIGN §9).
     pub transport: TransportSpec,
+    /// Seed for the worker pools' steal-victim PRNG streams. `Some` makes
+    /// steal order deterministic per (seed, rank, worker) — like the
+    /// fault injector's splitmix64 streams — for reproducible benchmark
+    /// runs; `None` (default) keeps OS entropy.
+    pub sched_seed: Option<u64>,
 }
 
 impl ExecConfig {
@@ -55,6 +60,7 @@ impl ExecConfig {
             faults: None,
             delivery_deadline: None,
             transport: TransportSpec::InProc,
+            sched_seed: None,
         }
     }
 
@@ -68,6 +74,7 @@ impl ExecConfig {
             faults: None,
             delivery_deadline: None,
             transport: TransportSpec::InProc,
+            sched_seed: None,
         }
     }
 
@@ -96,6 +103,13 @@ impl ExecConfig {
     /// Select the link layer (see [`TransportSpec`]).
     pub fn with_transport(mut self, transport: TransportSpec) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Seed the worker pools' steal-victim streams (see
+    /// [`ExecConfig::sched_seed`]).
+    pub fn with_sched_seed(mut self, seed: u64) -> Self {
+        self.sched_seed = Some(seed);
         self
     }
 }
@@ -161,12 +175,15 @@ impl Executor {
         let pools: Vec<WorkerPool> = local_ranks
             .iter()
             .map(|&r| {
-                WorkerPool::with_telemetry(
+                WorkerPool::with_options(
                     cfg.workers_per_rank,
                     cfg.backend.scheduler,
                     Arc::clone(&ctx.quiescence),
                     &format!("r{r}"),
                     Some((fabric.telemetry(), r)),
+                    // One stream family per rank so ranks don't mirror
+                    // each other's victim order.
+                    cfg.sched_seed.map(|s| s ^ ((r as u64) << 32)),
                 )
             })
             .collect();
@@ -219,6 +236,11 @@ impl Executor {
                                         ttg_comm::pool::recycle(payload);
                                         continue;
                                     }
+                                    // Tasks this delivery readies flush as
+                                    // one batch per rank when the scope
+                                    // drops — before the packet is retired,
+                                    // so quiescence never sees a gap.
+                                    let batch = crate::batch::BatchScope::enter(&ctx2);
                                     if let Err(e) =
                                         ctx2.node(handler).deliver_am(r, &payload, &ctx2)
                                     {
@@ -231,6 +253,7 @@ impl Executor {
                                             detail: e.to_string(),
                                         });
                                     }
+                                    drop(batch);
                                     ctx2.fabric.packet_processed();
                                     // Hand the AM buffer back to the wire
                                     // buffer pool for the next send.

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub(crate) mod batch;
 pub mod ctx;
 pub mod edge;
 pub mod executor;

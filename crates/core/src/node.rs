@@ -793,30 +793,39 @@ impl<K: Key> NodeInner<K> {
         let name = self.name;
         let executed = Arc::clone(&self.executed);
         ctx.metrics.count_activation(rank);
-        ctx.pool(rank)
-            .submit(ttg_runtime::Job::with_priority(prio, move || {
-                let t0 = Instant::now();
-                {
-                    #[cfg(feature = "telemetry")]
-                    let _span =
-                        ttg_telemetry::span_for_rank(rank, "task", name).arg("task", task_id);
-                    invoke(k.clone(), vals, task_id, rank, &ctx2);
-                }
-                let measured_ns = t0.elapsed().as_nanos() as u64;
-                executed.fetch_add(1, Ordering::Relaxed);
-                if let Some(tr) = &ctx2.trace {
-                    let cost_ns = costmap.as_ref().map_or(measured_ns, |f| f(&k));
-                    tr.record(TaskEvent {
-                        id: task_id,
-                        node: node_id,
-                        name,
-                        rank,
-                        cost_ns,
-                        priority: prio,
-                        deps,
-                    });
-                }
-            }));
+        let pool = ctx.pool(rank);
+        let mut job = ttg_runtime::Job::with_priority(prio, move || {
+            // Declared first so it drops last: successors spawned by this
+            // body flush as one batch after the trace record, while this
+            // job's quiescence unit is still held.
+            let _batch = crate::batch::BatchScope::enter(&ctx2);
+            let t0 = Instant::now();
+            {
+                #[cfg(feature = "telemetry")]
+                let _span = ttg_telemetry::span_for_rank(rank, "task", name).arg("task", task_id);
+                invoke(k.clone(), vals, task_id, rank, &ctx2);
+            }
+            let measured_ns = t0.elapsed().as_nanos() as u64;
+            executed.fetch_add(1, Ordering::Relaxed);
+            if let Some(tr) = &ctx2.trace {
+                let cost_ns = costmap.as_ref().map_or(measured_ns, |f| f(&k));
+                tr.record(TaskEvent {
+                    id: task_id,
+                    node: node_id,
+                    name,
+                    rank,
+                    cost_ns,
+                    priority: prio,
+                    deps,
+                });
+            }
+        });
+        // Successors spawned by a worker inherit that worker's cache: bind
+        // them to it so the pool's locality queue serves them hot.
+        if let Some(w) = pool.current_worker() {
+            job = job.with_locality(w);
+        }
+        crate::batch::enqueue(rank, job, ctx);
     }
 }
 

@@ -36,6 +36,12 @@ pub enum SchedulerKind {
 pub struct Job {
     /// Larger runs earlier (only in work-stealing pools).
     pub priority: i32,
+    /// Preferred worker whose cache likely holds this job's inputs.
+    /// Zero-priority jobs carrying a hint are enqueued on that worker's
+    /// bound queue instead of the shared injector (work-stealing pools
+    /// only); other workers may still poach them when the preferred
+    /// worker falls behind.
+    pub locality: Option<u32>,
     f: Box<dyn FnOnce() + Send + 'static>,
 }
 
@@ -44,6 +50,7 @@ impl Job {
     pub fn new(f: impl FnOnce() + Send + 'static) -> Self {
         Job {
             priority: 0,
+            locality: None,
             f: Box::new(f),
         }
     }
@@ -52,8 +59,15 @@ impl Job {
     pub fn with_priority(priority: i32, f: impl FnOnce() + Send + 'static) -> Self {
         Job {
             priority,
+            locality: None,
             f: Box::new(f),
         }
+    }
+
+    /// Tag the job with a preferred worker (see [`Job::locality`]).
+    pub fn with_locality(mut self, worker: u32) -> Self {
+        self.locality = Some(worker);
+        self
     }
 }
 
@@ -91,12 +105,24 @@ struct PoolMetrics {
     submitted: Counter,
     /// Jobs executed to completion.
     executed: Counter,
-    /// Successful steals from a peer worker's deque.
+    /// Successful steals from a peer worker's deque or bound queue.
     steals: Counter,
     /// Nanoseconds workers spent parked waiting for work.
     idle_ns: Counter,
     /// Jobs submitted but not yet picked up for execution.
     queue_depth: Gauge,
+    /// Wake events announced to parked workers (one per submit, one per
+    /// batch — fewer wakeups per task means cheaper activation).
+    wakeups: Counter,
+    /// Jobs that rode a multi-job `submit_batch` group.
+    tasks_batched: Counter,
+    /// Jobs a worker took from its own bound (locality) queue.
+    local_hits: Counter,
+    /// Full steal scans that found nothing anywhere.
+    steal_misses: Counter,
+    /// High-water mark of any single worker's ready-queue depth (bound
+    /// queue + deque), mirroring the transport's `send_queue_hwm`.
+    ready_hwm: Gauge,
 }
 
 impl PoolMetrics {
@@ -108,6 +134,11 @@ impl PoolMetrics {
                 steals: reg.counter(MetricKey::ranked(rank, "sched", "steals")),
                 idle_ns: reg.counter(MetricKey::ranked(rank, "sched", "idle_ns")),
                 queue_depth: reg.gauge(MetricKey::ranked(rank, "sched", "queue_depth")),
+                wakeups: reg.counter(MetricKey::ranked(rank, "sched", "wakeups")),
+                tasks_batched: reg.counter(MetricKey::ranked(rank, "sched", "tasks_batched")),
+                local_hits: reg.counter(MetricKey::ranked(rank, "sched", "local_hits")),
+                steal_misses: reg.counter(MetricKey::ranked(rank, "sched", "steal_misses")),
+                ready_hwm: reg.gauge(MetricKey::ranked(rank, "sched", "ready_hwm")),
             },
             None => PoolMetrics {
                 submitted: Counter::default(),
@@ -115,14 +146,57 @@ impl PoolMetrics {
                 steals: Counter::default(),
                 idle_ns: Counter::default(),
                 queue_depth: Gauge::default(),
+                wakeups: Counter::default(),
+                tasks_batched: Counter::default(),
+                local_hits: Counter::default(),
+                steal_misses: Counter::default(),
+                ready_hwm: Gauge::default(),
             },
         }
+    }
+}
+
+/// One worker's locality (bound) queue: zero-priority jobs whose inputs
+/// are expected to be hot in that worker's cache. FIFO, peer-stealable.
+struct Bound {
+    q: Mutex<VecDeque<Job>>,
+    /// Occupancy mirror so peers can skip the lock when empty.
+    len: AtomicUsize,
+}
+
+impl Bound {
+    fn new() -> Self {
+        Bound {
+            q: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, job: Job) -> usize {
+        let mut q = self.q.lock();
+        q.push_back(job);
+        let n = q.len();
+        self.len.store(n, Ordering::Release);
+        n
+    }
+
+    fn pop(&self) -> Option<Job> {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.q.lock();
+        let job = q.pop_front();
+        self.len.store(q.len(), Ordering::Release);
+        job
     }
 }
 
 struct Shared {
     injector: Injector<Job>,
     stealers: Vec<Stealer<Job>>,
+    /// Per-worker locality queues (work-stealing pools; same length as
+    /// `stealers`).
+    bound: Vec<Bound>,
     prio: Mutex<BinaryHeap<PrioJob>>,
     /// Heap occupancy mirror, maintained under the `prio` lock. Lets the
     /// common zero-priority dispatch skip the heap mutex entirely.
@@ -161,6 +235,12 @@ impl Shared {
                 if let Some(job) = self.pop_prio() {
                     return Some(job);
                 }
+                // Own bound queue next: cache-hot successors this worker
+                // spawned for itself.
+                if let Some(job) = self.bound[me].pop() {
+                    self.metrics.local_hits.inc();
+                    return Some(job);
+                }
                 if let Some(job) = local.pop() {
                     return Some(job);
                 }
@@ -169,7 +249,12 @@ impl Shared {
                 // instead of all hammering worker 0's deque.
                 loop {
                     match self.injector.steal_batch_and_pop(local) {
-                        crossbeam_deque::Steal::Success(job) => return Some(job),
+                        crossbeam_deque::Steal::Success(job) => {
+                            // The refill just grew this worker's deque;
+                            // sample it for the high-water gauge.
+                            self.note_depth(me, self.bound[me].len.load(Ordering::Acquire));
+                            return Some(job);
+                        }
                         crossbeam_deque::Steal::Retry => continue,
                         crossbeam_deque::Steal::Empty => break,
                     }
@@ -192,9 +277,57 @@ impl Shared {
                         }
                     }
                 }
+                // Last resort: poach localized jobs whose preferred worker
+                // has fallen behind.
+                for i in 0..n {
+                    let victim = (start + i) % n;
+                    if victim == me {
+                        continue;
+                    }
+                    if let Some(job) = self.bound[victim].pop() {
+                        self.metrics.steals.inc();
+                        return Some(job);
+                    }
+                }
+                self.metrics.steal_misses.inc();
                 None
             }
         }
+    }
+
+    /// Queue `job` without waking anybody (callers pair this with
+    /// [`Shared::announce_work`] or a single batch announcement).
+    fn enqueue_job(&self, job: Job) {
+        match self.kind {
+            SchedulerKind::Central => self.central.lock().push_back(job),
+            SchedulerKind::WorkStealing => {
+                if job.priority != 0 {
+                    let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                    let mut heap = self.prio.lock();
+                    heap.push(PrioJob {
+                        priority: job.priority,
+                        seq,
+                        job,
+                    });
+                    self.prio_count.store(heap.len(), Ordering::Release);
+                } else if let Some(w) = job
+                    .locality
+                    .map(|w| w as usize)
+                    .filter(|&w| w < self.bound.len())
+                {
+                    let depth = self.bound[w].push(job);
+                    self.note_depth(w, depth);
+                } else {
+                    self.injector.push(job);
+                }
+            }
+        }
+    }
+
+    /// Record worker `w`'s ready-queue depth into the high-water gauges.
+    fn note_depth(&self, w: usize, bound_depth: usize) {
+        let depth = bound_depth + self.stealers[w].len();
+        self.metrics.ready_hwm.set_max(depth as i64);
     }
 
     /// Bump the wake-event counter and wake one parked worker. The bump
@@ -206,7 +339,19 @@ impl Shared {
             let _guard = self.sleep_lock.lock();
             self.wake_seq.fetch_add(1, Ordering::SeqCst);
         }
+        self.metrics.wakeups.inc();
         self.wake.notify_one();
+    }
+
+    /// Like [`Shared::announce_work`] but wakes every parked worker — used
+    /// by `submit_batch`, where one announcement covers a whole group.
+    fn announce_batch(&self) {
+        {
+            let _guard = self.sleep_lock.lock();
+            self.wake_seq.fetch_add(1, Ordering::SeqCst);
+        }
+        self.metrics.wakeups.inc();
+        self.wake.notify_all();
     }
 }
 
@@ -218,6 +363,39 @@ fn xorshift64(state: &mut u64) -> u64 {
     x ^= x << 17;
     *state = x;
     x
+}
+
+/// splitmix64 finalizer (same mixer as the comm layer's fault injector).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Initial steal-scan RNG state for worker `worker`. With a seed, each
+/// worker gets its own deterministic splitmix64-derived stream so steal
+/// victim order — and thus benchmark runs — is reproducible; without one,
+/// the stream is drawn from OS entropy (`RandomState`).
+fn steal_rng_seed(steal_seed: Option<u64>, worker: usize) -> u64 {
+    let s = match steal_seed {
+        Some(seed) => splitmix64(seed ^ splitmix64(worker as u64)),
+        None => {
+            use std::hash::{BuildHasher, Hasher};
+            let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+            h.write_usize(worker);
+            h.finish()
+        }
+    };
+    s | 1
+}
+
+thread_local! {
+    /// `(pool identity, worker index)` of the current thread, when it is a
+    /// pool worker. The identity is the `Shared` allocation address, so a
+    /// pool can recognize its own workers among many pools.
+    static CURRENT_WORKER: std::cell::Cell<Option<(usize, u32)>> =
+        const { std::cell::Cell::new(None) };
 }
 
 /// A pool of worker threads executing [`Job`]s for one logical rank.
@@ -242,8 +420,10 @@ impl WorkerPool {
     }
 
     /// Like [`WorkerPool::new`], but registers the pool's scheduler metrics
-    /// (`submitted`, `executed`, `steals`, `idle_ns`, `queue_depth`) in
-    /// `registry` under subsystem `"sched"`, attributed to `rank`.
+    /// (`submitted`, `executed`, `steals`, `idle_ns`, `queue_depth`,
+    /// `wakeups`, `tasks_batched`, `local_hits`, `steal_misses`,
+    /// `ready_hwm`) in `registry` under subsystem `"sched"`, attributed to
+    /// `rank`.
     pub fn with_telemetry(
         workers: usize,
         kind: SchedulerKind,
@@ -251,12 +431,27 @@ impl WorkerPool {
         name: &str,
         registry: Option<(&Registry, usize)>,
     ) -> Self {
+        Self::with_options(workers, kind, quiescence, name, registry, None)
+    }
+
+    /// Like [`WorkerPool::with_telemetry`], with an optional seed for the
+    /// steal-victim PRNG streams (see [`steal_rng_seed`]); `None` keeps
+    /// the entropy default.
+    pub fn with_options(
+        workers: usize,
+        kind: SchedulerKind,
+        quiescence: Arc<Quiescence>,
+        name: &str,
+        registry: Option<(&Registry, usize)>,
+        steal_seed: Option<u64>,
+    ) -> Self {
         assert!(workers > 0, "pool needs at least one worker");
         let locals: Vec<Worker<Job>> = (0..workers).map(|_| Worker::new_lifo()).collect();
         let stealers = locals.iter().map(|w| w.stealer()).collect();
         let shared = Arc::new(Shared {
             injector: Injector::new(),
             stealers,
+            bound: (0..workers).map(|_| Bound::new()).collect(),
             prio: Mutex::new(BinaryHeap::new()),
             prio_count: AtomicUsize::new(0),
             central: Mutex::new(VecDeque::new()),
@@ -273,6 +468,7 @@ impl WorkerPool {
         for (i, local) in locals.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
             let tname = format!("{name}-w{i}");
+            let rng = steal_rng_seed(steal_seed, i);
             threads.push(
                 std::thread::Builder::new()
                     .name(tname.clone())
@@ -281,7 +477,7 @@ impl WorkerPool {
                         ttg_telemetry::span::name_current_thread(tname);
                         #[cfg(not(feature = "telemetry"))]
                         drop(tname);
-                        worker_loop(shared, local, i)
+                        worker_loop(shared, local, i, rng)
                     })
                     .expect("failed to spawn worker"),
             );
@@ -297,24 +493,42 @@ impl WorkerPool {
         self.shared.quiescence.activity_started();
         self.shared.metrics.submitted.inc();
         self.shared.metrics.queue_depth.add(1);
-        match self.shared.kind {
-            SchedulerKind::Central => self.shared.central.lock().push_back(job),
-            SchedulerKind::WorkStealing => {
-                if job.priority != 0 {
-                    let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
-                    let mut heap = self.shared.prio.lock();
-                    heap.push(PrioJob {
-                        priority: job.priority,
-                        seq,
-                        job,
-                    });
-                    self.shared.prio_count.store(heap.len(), Ordering::Release);
-                } else {
-                    self.shared.injector.push(job);
-                }
-            }
-        }
+        self.shared.enqueue_job(job);
         self.shared.announce_work();
+    }
+
+    /// Submit a group of jobs with a single wake announcement: one
+    /// `wake_seq` bump covers the whole successor group instead of one per
+    /// job, amortizing the sleep-lock round trip and condvar traffic
+    /// (Taskflow-style batched activation).
+    pub fn submit_batch(&self, jobs: Vec<Job>) {
+        let n = jobs.len();
+        if n == 0 {
+            return;
+        }
+        if n == 1 {
+            // A group of one is just a submit; don't count it as batched.
+            self.submit(jobs.into_iter().next().unwrap());
+            return;
+        }
+        for job in jobs {
+            self.shared.quiescence.activity_started();
+            self.shared.metrics.submitted.inc();
+            self.shared.metrics.queue_depth.add(1);
+            self.shared.enqueue_job(job);
+        }
+        self.shared.metrics.tasks_batched.add(n as u64);
+        self.shared.announce_batch();
+    }
+
+    /// Index of the calling thread within this pool, if it is one of this
+    /// pool's workers. Used to tag spawned successors with a locality hint
+    /// so they land on the bound queue of the worker whose cache is warm.
+    pub fn current_worker(&self) -> Option<u32> {
+        let ident = Arc::as_ptr(&self.shared) as usize;
+        CURRENT_WORKER
+            .with(std::cell::Cell::get)
+            .and_then(|(id, idx)| (id == ident).then_some(idx))
     }
 
     /// Total jobs executed so far.
@@ -337,6 +551,31 @@ impl WorkerPool {
         self.shared.metrics.queue_depth.get()
     }
 
+    /// Wake events announced so far (one per submit, one per batch).
+    pub fn wakeups(&self) -> u64 {
+        self.shared.metrics.wakeups.get()
+    }
+
+    /// Jobs that rode a multi-job `submit_batch` group so far.
+    pub fn tasks_batched(&self) -> u64 {
+        self.shared.metrics.tasks_batched.get()
+    }
+
+    /// Jobs workers took from their own bound (locality) queue so far.
+    pub fn local_hits(&self) -> u64 {
+        self.shared.metrics.local_hits.get()
+    }
+
+    /// Steal scans that found no work anywhere so far.
+    pub fn steal_misses(&self) -> u64 {
+        self.shared.metrics.steal_misses.get()
+    }
+
+    /// High-water mark of any single worker's ready-queue depth.
+    pub fn ready_hwm(&self) -> u64 {
+        self.shared.metrics.ready_hwm.get().max(0) as u64
+    }
+
     /// Stop accepting progress and join all workers. Pending jobs are
     /// dropped (their quiescence units are released). Idempotent.
     pub fn shutdown(&self) {
@@ -355,14 +594,14 @@ impl WorkerPool {
         loop {
             let job = match self.shared.kind {
                 SchedulerKind::Central => self.shared.central.lock().pop_front(),
-                SchedulerKind::WorkStealing => {
-                    self.shared
-                        .pop_prio()
-                        .or_else(|| match self.shared.injector.steal() {
-                            crossbeam_deque::Steal::Success(j) => Some(j),
-                            _ => None,
-                        })
-                }
+                SchedulerKind::WorkStealing => self
+                    .shared
+                    .pop_prio()
+                    .or_else(|| match self.shared.injector.steal() {
+                        crossbeam_deque::Steal::Success(j) => Some(j),
+                        _ => None,
+                    })
+                    .or_else(|| self.shared.bound.iter().find_map(Bound::pop)),
             };
             match job {
                 Some(_) => self.shared.quiescence.activity_finished(),
@@ -372,12 +611,8 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, local: Worker<Job>, me: usize) {
-    // Per-worker steal-scan PRNG; any odd non-zero seed works.
-    let mut rng = (me as u64)
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(0x243F_6A88_85A3_08D3)
-        | 1;
+fn worker_loop(shared: Arc<Shared>, local: Worker<Job>, me: usize, mut rng: u64) {
+    CURRENT_WORKER.with(|c| c.set(Some((Arc::as_ptr(&shared) as usize, me as u32))));
     loop {
         if let Some(job) = shared.find_job(&local, me, &mut rng) {
             shared.metrics.queue_depth.add(-1);
@@ -575,6 +810,115 @@ mod tests {
         assert!(pool.idle_ns() > 0, "workers never recorded idle time");
         assert_eq!(pool.executed(), 64 + extra);
         pool.shutdown();
+    }
+
+    #[test]
+    fn equal_priorities_run_in_submission_order() {
+        // The priority heap breaks ties on the submission sequence number,
+        // so same-priority jobs keep FIFO semantics instead of heap order.
+        let q = Arc::new(Quiescence::new());
+        let pool = WorkerPool::new(1, SchedulerKind::WorkStealing, Arc::clone(&q), "fifo-tie");
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new(AtomicBool::new(false));
+
+        let g = Arc::clone(&gate);
+        pool.submit(Job::new(move || {
+            while !g.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_micros(10));
+            }
+        }));
+        std::thread::sleep(Duration::from_millis(10));
+
+        for i in 0..16 {
+            let o = Arc::clone(&order);
+            pool.submit(Job::with_priority(5, move || {
+                o.lock().push(i);
+            }));
+        }
+        gate.store(true, Ordering::SeqCst);
+        q.wait_quiescent();
+        assert_eq!(*order.lock(), (0..16).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn submit_batch_runs_in_order_with_one_wakeup() {
+        // A batch targeting one worker's bound queue must execute in spawn
+        // order and cost a single wake announcement, with the batch size
+        // recorded in `tasks_batched` and the queue depth in `ready_hwm`.
+        let q = Arc::new(Quiescence::new());
+        let pool = WorkerPool::new(1, SchedulerKind::WorkStealing, Arc::clone(&q), "batch");
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new(AtomicBool::new(false));
+
+        let g = Arc::clone(&gate);
+        pool.submit(Job::new(move || {
+            while !g.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_micros(10));
+            }
+        }));
+        std::thread::sleep(Duration::from_millis(10));
+        let wakeups_before = pool.wakeups();
+
+        let batch: Vec<Job> = (0..8)
+            .map(|i| {
+                let o = Arc::clone(&order);
+                Job::new(move || {
+                    o.lock().push(i);
+                })
+                .with_locality(0)
+            })
+            .collect();
+        pool.submit_batch(batch);
+        assert_eq!(pool.wakeups() - wakeups_before, 1, "one wakeup per batch");
+        assert_eq!(pool.tasks_batched(), 8);
+
+        gate.store(true, Ordering::SeqCst);
+        q.wait_quiescent();
+        assert_eq!(*order.lock(), (0..8).collect::<Vec<_>>());
+        assert!(pool.local_hits() > 0, "bound-queue pops count local hits");
+        assert!(pool.ready_hwm() >= 8, "high-water mark saw the batch");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn concurrent_priority_submits_never_lose_or_underflow() {
+        // Racing priority submits against draining workers must neither
+        // lose jobs nor leave the priority-count bookkeeping negative
+        // (which would strand jobs in the heap at shutdown).
+        let q = Arc::new(Quiescence::new());
+        let pool = Arc::new(WorkerPool::new(
+            4,
+            SchedulerKind::WorkStealing,
+            Arc::clone(&q),
+            "prio-race",
+        ));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        let c = Arc::clone(&counter);
+                        pool.submit(Job::with_priority((t * 500 + i) % 7, move || {
+                            c.fetch_add(1, Ordering::SeqCst);
+                        }));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        q.wait_quiescent();
+        assert_eq!(counter.load(Ordering::SeqCst), 2000);
+        assert_eq!(pool.executed(), 2000);
+        assert_eq!(pool.queue_depth(), 0);
+        match Arc::try_unwrap(pool) {
+            Ok(p) => p.shutdown(),
+            Err(_) => panic!("pool still referenced"),
+        }
     }
 
     #[test]

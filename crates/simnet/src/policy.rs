@@ -1,0 +1,418 @@
+//! Pluggable scheduling policies for the discrete-event simulator.
+//!
+//! The paper's runtime (§II) leans on priority hints and work stealing to
+//! shorten the critical path, and Beránek et al.'s simulated-scheduler
+//! study (arXiv:2204.07211) shows the *choice* of policy dominates makespan
+//! at scale. This module factors the simulator's dispatch decisions out of
+//! the event loop into a [`SchedPolicy`] trait so alternative disciplines
+//! can be swept over the same traces (`bench_sched`), and the winners
+//! promoted into the real `ttg-runtime` pool.
+//!
+//! A policy makes three kinds of decisions:
+//!
+//! 1. **Dispatch order** ([`SchedPolicy::pick`]): which queued task a node
+//!    runs when a core frees up.
+//! 2. **Activation grouping** ([`SchedPolicy::batches`]): whether the ready
+//!    successors of one completion are enqueued as a single group (one
+//!    simulated wakeup, activation overhead amortized across the group —
+//!    Taskflow-style batched notification) or one event per task.
+//! 3. **Steal-victim selection** ([`SchedPolicy::pick_victim`]): which
+//!    node an idle node poaches queued work from, given the bytes each
+//!    candidate would have to move.
+
+use crate::des::TraceTask;
+
+/// One entry of a node's ready queue, as shown to a policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadyTask {
+    /// Index into the trace's task array.
+    pub idx: usize,
+    /// Task id (stable FIFO tiebreak; producers have smaller ids).
+    pub id: u64,
+    /// Scheduler priority (higher wins under priority-aware policies).
+    pub priority: i32,
+    /// Time all of the task's inputs had arrived at its home node.
+    pub ready_at: u64,
+    /// Activation overhead charged at dispatch. Group leaders carry the
+    /// machine's `task_overhead_ns`; followers of a batched activation
+    /// ride for free.
+    pub overhead_ns: u64,
+}
+
+/// A stealable task as shown to [`SchedPolicy::pick_victim`]: the head of
+/// one victim's queue, annotated with what the theft would cost.
+#[derive(Debug, Clone, Copy)]
+pub struct StealCandidate {
+    /// Bytes that would have to move to the thief's node (0 when every
+    /// input is already resident there — a locality hit).
+    pub bytes: u64,
+    /// When the candidate became ready at its home node.
+    pub ready_at: u64,
+    /// Scheduler priority of the candidate.
+    pub priority: i32,
+    /// Task id (tiebreak).
+    pub id: u64,
+}
+
+/// Scheduler counters accumulated over one projection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Activation groups enqueued (each models one worker wake event).
+    pub wakeups: u64,
+    /// Tasks that rode a multi-task activation group.
+    pub tasks_batched: u64,
+    /// Tasks executed away from their home node.
+    pub steals: u64,
+    /// Steal scans by an idle node that found no victim.
+    pub steal_misses: u64,
+    /// Steals whose inputs were already resident at the thief.
+    pub local_hits: u64,
+    /// Bytes moved across the network by steals.
+    pub steal_moved_bytes: u64,
+}
+
+/// A scheduling discipline for [`simulate_policy`](crate::des::simulate_policy).
+///
+/// Policies are stateful (`&mut self`) so they can carry seeded RNG
+/// streams; a given `(trace, machine, policy seed)` triple always projects
+/// the same schedule.
+pub trait SchedPolicy {
+    /// Stable name used in benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Choose which entry of `queue` node `node` dispatches next.
+    /// `queue` is non-empty; the returned index must be in range.
+    fn pick(&mut self, node: usize, queue: &[ReadyTask], tasks: &[TraceTask], now: u64) -> usize;
+
+    /// Whether ready successors of one completion are enqueued as one
+    /// activation group (amortizing wakeups and activation overhead).
+    fn batches(&self) -> bool {
+        false
+    }
+
+    /// Whether idle nodes steal queued work from other nodes.
+    fn steals(&self) -> bool {
+        false
+    }
+
+    /// Choose a victim for idle node `thief`. `candidates[v]` is the task
+    /// node `v` would dispatch next (or `None` if `v` has nothing to take).
+    /// Returning `None` records a steal miss.
+    fn pick_victim(
+        &mut self,
+        thief: usize,
+        candidates: &[Option<StealCandidate>],
+    ) -> Option<usize> {
+        let _ = (thief, candidates);
+        None
+    }
+}
+
+/// Legacy event order: earliest-ready first, higher priority then smaller
+/// id breaking ties — exactly the dispatch order the pre-policy simulator
+/// hard-coded.
+fn fifo_pick(queue: &[ReadyTask]) -> usize {
+    let mut best = 0;
+    for (i, rt) in queue.iter().enumerate().skip(1) {
+        let k = (rt.ready_at, -(rt.priority as i64), rt.id);
+        let b = &queue[best];
+        if k < (b.ready_at, -(b.priority as i64), b.id) {
+            best = i;
+        }
+    }
+    best
+}
+
+/// splitmix64 finalizer (same mixer as the comm layer's fault injector).
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// The legacy discipline: FIFO by ready time, no stealing, no batching.
+/// [`simulate`](crate::des::simulate) routes through this policy and is
+/// bit-compatible with the pre-policy simulator.
+#[derive(Debug, Default)]
+pub struct Fifo;
+
+impl SchedPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn pick(
+        &mut self,
+        _node: usize,
+        queue: &[ReadyTask],
+        _tasks: &[TraceTask],
+        _now: u64,
+    ) -> usize {
+        fifo_pick(queue)
+    }
+}
+
+/// Pure randomized stealing — the real pool's current behavior: FIFO
+/// dispatch, idle nodes poach from a uniformly random victim regardless of
+/// where the task's inputs live.
+#[derive(Debug)]
+pub struct RandomSteal {
+    rng: u64,
+}
+
+impl RandomSteal {
+    /// Deterministic per-seed victim stream (splitmix64-derived, mirroring
+    /// `ttg_comm::fault`).
+    pub fn seeded(seed: u64) -> Self {
+        RandomSteal {
+            rng: mix(seed ^ 0x0005_EED5_7EA1_u64) | 1,
+        }
+    }
+}
+
+impl Default for RandomSteal {
+    fn default() -> Self {
+        RandomSteal::seeded(0)
+    }
+}
+
+impl SchedPolicy for RandomSteal {
+    fn name(&self) -> &'static str {
+        "random_steal"
+    }
+
+    fn pick(
+        &mut self,
+        _node: usize,
+        queue: &[ReadyTask],
+        _tasks: &[TraceTask],
+        _now: u64,
+    ) -> usize {
+        fifo_pick(queue)
+    }
+
+    fn steals(&self) -> bool {
+        true
+    }
+
+    fn pick_victim(
+        &mut self,
+        _thief: usize,
+        candidates: &[Option<StealCandidate>],
+    ) -> Option<usize> {
+        random_victim(&mut self.rng, candidates)
+    }
+}
+
+fn random_victim(rng: &mut u64, candidates: &[Option<StealCandidate>]) -> Option<usize> {
+    let live: Vec<usize> = (0..candidates.len())
+        .filter(|&v| candidates[v].is_some())
+        .collect();
+    if live.is_empty() {
+        return None;
+    }
+    Some(live[(xorshift(rng) % live.len() as u64) as usize])
+}
+
+fn locality_victim(candidates: &[Option<StealCandidate>]) -> Option<usize> {
+    let mut best: Option<(u64, u64, u64, usize)> = None;
+    for (v, c) in candidates.iter().enumerate() {
+        if let Some(c) = c {
+            let k = (c.bytes, c.ready_at, c.id, v);
+            if best.is_none_or(|b| k < b) {
+                best = Some(k);
+            }
+        }
+    }
+    best.map(|(_, _, _, v)| v)
+}
+
+/// Locality-aware stealing: among all victims, take the task whose inputs
+/// require the fewest bytes to move to the thief (0-byte steals — every
+/// input `Arc` already resident, the COW plane's shared-value case — are
+/// preferred outright and counted as `local_hits`).
+#[derive(Debug, Default)]
+pub struct LocalitySteal;
+
+impl SchedPolicy for LocalitySteal {
+    fn name(&self) -> &'static str {
+        "locality_steal"
+    }
+
+    fn pick(
+        &mut self,
+        _node: usize,
+        queue: &[ReadyTask],
+        _tasks: &[TraceTask],
+        _now: u64,
+    ) -> usize {
+        fifo_pick(queue)
+    }
+
+    fn steals(&self) -> bool {
+        true
+    }
+
+    fn pick_victim(
+        &mut self,
+        _thief: usize,
+        candidates: &[Option<StealCandidate>],
+    ) -> Option<usize> {
+        locality_victim(candidates)
+    }
+}
+
+/// Priority + data-age hybrid: dispatch the highest-priority queued task,
+/// breaking ties toward the one whose inputs have been waiting longest
+/// (oldest `ready_at`), so hot data is consumed before it cools; steals
+/// follow the same rule across victims.
+#[derive(Debug, Default)]
+pub struct PrioAge;
+
+impl SchedPolicy for PrioAge {
+    fn name(&self) -> &'static str {
+        "prio_age"
+    }
+
+    fn pick(
+        &mut self,
+        _node: usize,
+        queue: &[ReadyTask],
+        _tasks: &[TraceTask],
+        _now: u64,
+    ) -> usize {
+        let mut best = 0;
+        for (i, rt) in queue.iter().enumerate().skip(1) {
+            let k = (-(rt.priority as i64), rt.ready_at, rt.id);
+            let b = &queue[best];
+            if k < (-(b.priority as i64), b.ready_at, b.id) {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn steals(&self) -> bool {
+        true
+    }
+
+    fn pick_victim(
+        &mut self,
+        _thief: usize,
+        candidates: &[Option<StealCandidate>],
+    ) -> Option<usize> {
+        let mut best: Option<(i64, u64, u64, usize)> = None;
+        for (v, c) in candidates.iter().enumerate() {
+            if let Some(c) = c {
+                let k = (-(c.priority as i64), c.ready_at, c.id, v);
+                if best.is_none_or(|b| k < b) {
+                    best = Some(k);
+                }
+            }
+        }
+        best.map(|(_, _, _, v)| v)
+    }
+}
+
+/// Batched successor activation over random stealing: the ready successors
+/// of one completion are enqueued as a single group per destination node —
+/// one wakeup, one activation overhead for the whole group.
+#[derive(Debug)]
+pub struct Batched {
+    rng: u64,
+}
+
+impl Batched {
+    /// Deterministic per-seed victim stream.
+    pub fn seeded(seed: u64) -> Self {
+        Batched {
+            rng: mix(seed ^ 0xBA7C_4ED0u64) | 1,
+        }
+    }
+}
+
+impl Default for Batched {
+    fn default() -> Self {
+        Batched::seeded(0)
+    }
+}
+
+impl SchedPolicy for Batched {
+    fn name(&self) -> &'static str {
+        "batched"
+    }
+
+    fn pick(
+        &mut self,
+        _node: usize,
+        queue: &[ReadyTask],
+        _tasks: &[TraceTask],
+        _now: u64,
+    ) -> usize {
+        fifo_pick(queue)
+    }
+
+    fn batches(&self) -> bool {
+        true
+    }
+
+    fn steals(&self) -> bool {
+        true
+    }
+
+    fn pick_victim(
+        &mut self,
+        _thief: usize,
+        candidates: &[Option<StealCandidate>],
+    ) -> Option<usize> {
+        random_victim(&mut self.rng, candidates)
+    }
+}
+
+/// The promoted combination: batched activation + locality-aware stealing.
+/// This is the policy whose ideas ship in the real pool (`submit_batch` +
+/// `Job::with_locality`).
+#[derive(Debug, Default)]
+pub struct LocalBatch;
+
+impl SchedPolicy for LocalBatch {
+    fn name(&self) -> &'static str {
+        "local_batch"
+    }
+
+    fn pick(
+        &mut self,
+        _node: usize,
+        queue: &[ReadyTask],
+        _tasks: &[TraceTask],
+        _now: u64,
+    ) -> usize {
+        fifo_pick(queue)
+    }
+
+    fn batches(&self) -> bool {
+        true
+    }
+
+    fn steals(&self) -> bool {
+        true
+    }
+
+    fn pick_victim(
+        &mut self,
+        _thief: usize,
+        candidates: &[Option<StealCandidate>],
+    ) -> Option<usize> {
+        locality_victim(candidates)
+    }
+}

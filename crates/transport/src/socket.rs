@@ -299,7 +299,12 @@ impl Inner {
     }
 
     /// Install a freshly handshaken stream for `peer` and spawn its reader.
-    fn install_stream(self: &Arc<Self>, peer: Rank, stream: Stream) {
+    ///
+    /// `codec` is the handshake's decoder, carried over because the read
+    /// that produced the peer's `Hello` may have pulled in the first bytes
+    /// of whatever the peer sent next; starting the reader with a fresh
+    /// decoder would silently drop them and desynchronize the stream.
+    fn install_stream(self: &Arc<Self>, peer: Rank, stream: Stream, codec: FrameCodec) {
         stream.tune();
         let slot = self.conns[peer].as_ref().expect("conn slot");
         let reader_half = match stream.try_clone() {
@@ -316,7 +321,12 @@ impl Inner {
             }
         };
         let generation = slot.generation.fetch_add(1, Ordering::SeqCst) + 1;
-        *slot.stream.lock() = Some(stream);
+        if let Some(displaced) = slot.stream.lock().replace(stream) {
+            // A replaced connection's reader would otherwise block on the
+            // dead socket forever — and shutdown would hang joining it.
+            // The generation bump above keeps its exit quiet.
+            displaced.shutdown_both();
+        }
         slot.stream_cv.notify_all();
         if generation == 1 {
             self.metrics.connects.inc();
@@ -329,17 +339,49 @@ impl Inner {
         let inner = Arc::clone(self);
         let h = std::thread::Builder::new()
             .name(format!("ttg-rx-{}-{}", self.me, peer))
-            .spawn(move || inner.reader_loop(peer, reader_half, generation))
+            .spawn(move || inner.reader_loop(peer, reader_half, generation, codec))
             .expect("spawn transport reader");
         self.threads.lock().push(h);
     }
 
-    fn reader_loop(self: Arc<Self>, peer: Rank, mut stream: Stream, generation: u64) {
+    fn reader_loop(
+        self: Arc<Self>,
+        peer: Rank,
+        mut stream: Stream,
+        generation: u64,
+        mut codec: FrameCodec,
+    ) {
         let Some(sink) = self.sink_wait() else { return };
         let slot = self.conns[peer].as_ref().expect("conn slot");
-        let mut codec = FrameCodec::new();
         let mut buf = vec![0u8; 64 * 1024];
+        // Drain-then-read: the first iteration flushes any frames that rode
+        // in behind the peer's Hello during the handshake before the socket
+        // is touched again.
         loop {
+            loop {
+                match codec.next() {
+                    Ok(None) => break,
+                    Ok(Some(Frame::Bye { .. })) => {
+                        slot.orderly.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                    Ok(Some(Frame::Hello { .. })) => {
+                        // Handshakes happen before install; a late
+                        // Hello is harmless chatter.
+                    }
+                    Ok(Some(frame)) => sink(peer, Ok(frame)),
+                    Err(e) => {
+                        sink(
+                            peer,
+                            Err(TransportError::Framing {
+                                peer,
+                                detail: e.to_string(),
+                            }),
+                        );
+                        return;
+                    }
+                }
+            }
             match stream.read(&mut buf) {
                 Ok(0) => {
                     let quiet = self.stop.load(Ordering::SeqCst)
@@ -359,30 +401,6 @@ impl Inner {
                 Ok(k) => {
                     self.metrics.rx_bytes.add(k as u64);
                     codec.push(&buf[..k]);
-                    loop {
-                        match codec.next() {
-                            Ok(None) => break,
-                            Ok(Some(Frame::Bye { .. })) => {
-                                slot.orderly.store(true, Ordering::SeqCst);
-                                return;
-                            }
-                            Ok(Some(Frame::Hello { .. })) => {
-                                // Handshakes happen before install; a late
-                                // Hello is harmless chatter.
-                            }
-                            Ok(Some(frame)) => sink(peer, Ok(frame)),
-                            Err(e) => {
-                                sink(
-                                    peer,
-                                    Err(TransportError::Framing {
-                                        peer,
-                                        detail: e.to_string(),
-                                    }),
-                                );
-                                return;
-                            }
-                        }
-                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => {
@@ -456,8 +474,8 @@ impl Inner {
         let addr = self.addrs.lock()[peer].clone();
         match addr {
             Some(addr) if peer < self.me => match self.dial(peer, &addr) {
-                Ok(stream) => {
-                    self.install_stream(peer, stream);
+                Ok((stream, codec)) => {
+                    self.install_stream(peer, stream, codec);
                     true
                 }
                 Err(_) => false,
@@ -479,8 +497,10 @@ impl Inner {
     }
 
     /// Dial `peer` at `addr` with retry (its listener may not be up yet)
-    /// and run the initiator side of the handshake.
-    fn dial(&self, peer: Rank, addr: &AddrSpec) -> Result<Stream, TransportError> {
+    /// and run the initiator side of the handshake. Returns the stream plus
+    /// the handshake's decoder (it may hold bytes of frames the peer sent
+    /// right behind its `Hello`; see [`Inner::install_stream`]).
+    fn dial(&self, peer: Rank, addr: &AddrSpec) -> Result<(Stream, FrameCodec), TransportError> {
         let mut last = String::new();
         for _ in 0..DIAL_RETRIES {
             if self.stop.load(Ordering::SeqCst) {
@@ -488,9 +508,9 @@ impl Inner {
             }
             match addr.connect() {
                 Ok(mut stream) => {
-                    let got = self.handshake(&mut stream, Some(peer))?;
+                    let (got, codec) = self.handshake(&mut stream, Some(peer))?;
                     debug_assert_eq!(got, peer);
-                    return Ok(stream);
+                    return Ok((stream, codec));
                 }
                 Err(e) => {
                     last = e.to_string();
@@ -503,9 +523,16 @@ impl Inner {
 
     /// Exchange `Hello` frames on a fresh stream. Both sides write first,
     /// then read (frames are tiny; no deadlock through socket buffers).
-    /// Returns the peer's rank; on any disagreement counts a handshake
+    /// Returns the peer's rank together with the decoder used to read the
+    /// `Hello` — the caller must keep feeding that decoder (not a fresh
+    /// one), because the same `read` may already have pulled in the start
+    /// of the peer's next frames. On any disagreement counts a handshake
     /// failure and returns [`TransportError::HandshakeMismatch`].
-    fn handshake(&self, stream: &mut Stream, expect: Option<Rank>) -> Result<Rank, TransportError> {
+    fn handshake(
+        &self,
+        stream: &mut Stream,
+        expect: Option<Rank>,
+    ) -> Result<(Rank, FrameCodec), TransportError> {
         let fail = |detail: String| {
             self.metrics.handshake_failures.inc();
             Err(TransportError::HandshakeMismatch {
@@ -568,7 +595,7 @@ impl Inner {
             }
         }
         stream.set_read_timeout(None);
-        Ok(rank)
+        Ok((rank, codec))
     }
 
     fn accept_loop(self: Arc<Self>) {
@@ -582,7 +609,7 @@ impl Inner {
                         return; // the shutdown dummy-dial
                     }
                     match self.handshake(&mut stream, None) {
-                        Ok(peer) => self.install_stream(peer, stream),
+                        Ok((peer, codec)) => self.install_stream(peer, stream, codec),
                         Err(_) => {
                             // Counted in handshake_failures; the stranger's
                             // stream just drops.
@@ -854,8 +881,8 @@ pub fn local_mesh(
     // Rank i dials every j < i; accepts fill in the rest.
     for inner in inners.iter() {
         for j in 0..inner.me {
-            let stream = inner.dial(j, &addrs[j])?;
-            inner.install_stream(j, stream);
+            let (stream, codec) = inner.dial(j, &addrs[j])?;
+            inner.install_stream(j, stream, codec);
         }
     }
     for inner in inners.iter() {
@@ -914,8 +941,8 @@ pub fn remote_endpoint(
     for j in 0..me {
         let peer_addr = read_addr_file(dir, j, deadline)?;
         inner.addrs.lock()[j] = Some(peer_addr.clone());
-        let stream = inner.dial(j, &peer_addr)?;
-        inner.install_stream(j, stream);
+        let (stream, codec) = inner.dial(j, &peer_addr)?;
+        inner.install_stream(j, stream, codec);
     }
     inner.wait_ready(n.saturating_sub(1), RENDEZVOUS_TIMEOUT)?;
     Ok(Arc::new(SocketEndpoint { inner }))
@@ -1007,6 +1034,49 @@ mod tests {
     #[test]
     fn uds_mesh_roundtrip_ordered() {
         mesh_roundtrip(TransportKind::Uds);
+    }
+
+    #[test]
+    fn frames_right_behind_hello_are_not_lost() {
+        // Regression: the accept-side handshake used to read the peer's
+        // Hello into a throwaway decoder, silently dropping any bytes of
+        // the frames behind it and desynchronizing the stream (seen as
+        // flaky multi-process barrier hangs). Write Hello plus an Am in a
+        // single burst; the Am must still reach the sink.
+        let reg = Registry::new();
+        let eps = local_mesh(TransportKind::Tcp, 2, &reg).expect("mesh");
+        let (sink, got) = collect_sink();
+        eps[0].start(sink);
+        let AddrSpec::Tcp(addr) = eps[0].listen_addr() else {
+            panic!("tcp addr")
+        };
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut burst = Frame::Hello {
+            magic: MAGIC,
+            version: PROTOCOL_VERSION,
+            rank: 1,
+            ranks: 2,
+        }
+        .encode_vec();
+        Frame::Am {
+            from: 1,
+            handler: 3,
+            seq: 9,
+            payload: vec![7u8; 32],
+        }
+        .encode(&mut burst);
+        s.write_all(&burst).unwrap();
+        wait_for(
+            || {
+                got.lock()
+                    .iter()
+                    .any(|(src, f)| *src == 1 && matches!(f, Frame::Am { seq: 9, .. }))
+            },
+            "am frame riding behind the hello",
+        );
+        for ep in &eps {
+            ep.shutdown();
+        }
     }
 
     #[test]

@@ -52,6 +52,11 @@ impl<T> Worker<T> {
         lock(&self.q).is_empty()
     }
 
+    /// Number of tasks currently queued (racy snapshot, like crossbeam's).
+    pub fn len(&self) -> usize {
+        lock(&self.q).len()
+    }
+
     /// Create a stealer handle for other threads.
     pub fn stealer(&self) -> Stealer<T> {
         Stealer {
@@ -80,6 +85,16 @@ impl<T> Stealer<T> {
             Some(t) => Steal::Success(t),
             None => Steal::Empty,
         }
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.q).is_empty()
+    }
+
+    /// Number of tasks currently queued (racy snapshot, like crossbeam's).
+    pub fn len(&self) -> usize {
+        lock(&self.q).len()
     }
 }
 
