@@ -30,6 +30,14 @@
 //! the graph; with `--check` on the command line the verifier runs, prints
 //! to stderr, writes `results/check_report.json`, and exits non-zero on
 //! errors. Without the flag, nothing happens.
+//!
+//! A third half, since PR 8: **concurrency diagnostics** over the runtime
+//! stack itself rather than a user graph — lock-order analysis of the
+//! crates' annotated lock sets ([`locks`], TTG050/TTG051), wire-protocol
+//! state-machine checks ([`protocol`], TTG052/TTG053), and a `--model`
+//! mode ([`model_from_args`]) that exhaustively explores the `ttg-model`
+//! protocol corpus and reports TTG054 violations / TTG055 coverage in the
+//! same JSON report schema.
 
 #![warn(missing_docs)]
 
@@ -39,10 +47,14 @@ use std::sync::Mutex;
 
 use ttg_core::Graph;
 
+pub mod locks;
+pub mod model;
+pub mod protocol;
 pub mod report;
 pub mod sanitize;
 pub mod verify;
 
+pub use model::{model_from_args, run_corpus, MODEL_REPORT_PATH};
 pub use report::{Diagnostic, Report, Severity};
 pub use sanitize::{comm_diagnostic, report_from_exec, stuck_diagnostic, violation_diagnostic};
 pub use verify::verify;

@@ -27,12 +27,11 @@
 //! accumulate in the fabric's error sink and surface in execution reports.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Weak};
 use std::time::{Duration, Instant};
+use ttg_model::sync::{AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
 use ttg_telemetry::{Counter, Gauge, MetricKey, Registry};
 use ttg_transport::{local_mesh, Endpoint, Frame, TransportError, TransportKind, TransportSpec};
 
@@ -48,6 +47,28 @@ pub type RegionId = u64;
 /// Released regions kept around to answer duplicated or late one-sided
 /// fetches idempotently instead of aborting the owner.
 const RELEASED_CACHE: usize = 64;
+
+/// Frame kinds some layer of the stack consumes, cross-referenced by the
+/// `ttg-check` protocol analysis against the transport's
+/// [`WIRE_KINDS`](ttg_transport::frame::WIRE_KINDS) table (TTG052: a kind
+/// the wire defines but nobody terminates means sends silently vanish).
+///
+/// `Hello` and `Bye` terminate inside the transport (handshake and reader
+/// teardown); `Ack` terminates in the reliable layer's accept path; the
+/// rest terminate in the fabric's receive dispatch (`remote_rx`).
+pub const CONSUMED_FRAME_KINDS: &[&str] = &[
+    "Hello",
+    "Am",
+    "Ack",
+    "RmaReq",
+    "RmaResp",
+    "BarrierEnter",
+    "BarrierRelease",
+    "TermProbe",
+    "TermReply",
+    "TermDone",
+    "Bye",
+];
 
 /// Retransmit/delay progress-thread tick.
 const PROGRESS_TICK: Duration = Duration::from_micros(100);
@@ -311,6 +332,8 @@ pub struct FabricStats {
     /// Late/duplicate one-sided fetches answered from the released-region
     /// idempotency cache.
     rma_stale_gets: Counter,
+    /// Entries evicted from the released-region LRU cache to make room.
+    rma_released_evictions: Counter,
     /// Executions that missed their delivery deadline.
     delivery_deadline_misses: Counter,
     /// Per-rank bytes put on the wire (AM payloads + RMA reads served).
@@ -372,6 +395,8 @@ pub struct StatsSnapshot {
     pub post_shutdown_sends: u64,
     /// Late/duplicate RMA fetches served idempotently.
     pub rma_stale_gets: u64,
+    /// Released-region LRU cache evictions.
+    pub rma_released_evictions: u64,
     /// Delivery-deadline misses.
     pub delivery_deadline_misses: u64,
     /// Link-layer bytes handed to the OS (socket transports).
@@ -384,7 +409,9 @@ pub struct StatsSnapshot {
     pub transport_reconnects: u64,
     /// Link-layer handshakes refused.
     pub transport_handshake_failures: u64,
-    /// Highest per-peer send-queue depth observed (frames).
+    /// Highest per-peer send-queue depth ever observed (frames; the
+    /// lifetime mark, surviving transport reconnects — the per-connection
+    /// `send_queue_hwm` gauge resets on every establishment).
     pub transport_queue_hwm: u64,
     /// Highest single-worker ready-queue depth observed across ranks
     /// (jobs; mirrors `transport_queue_hwm` for the scheduler).
@@ -413,6 +440,7 @@ impl FabricStats {
             am_retry_exhausted: c("am_retry_exhausted"),
             post_shutdown_sends: c("post_shutdown_sends"),
             rma_stale_gets: c("rma_stale_gets"),
+            rma_released_evictions: c("rma_released_evictions"),
             delivery_deadline_misses: c("delivery_deadline_misses"),
             tx_bytes: (0..n)
                 .map(|r| reg.counter(MetricKey::ranked(r, "comm", "tx_bytes")))
@@ -429,7 +457,7 @@ impl FabricStats {
             transport_reconnects: t("reconnects"),
             transport_handshake_failures: t("handshake_failures"),
             transport_queue_hwm: (0..n)
-                .map(|r| reg.gauge(MetricKey::ranked(r, "transport", "send_queue_hwm")))
+                .map(|r| reg.gauge(MetricKey::ranked(r, "transport", "send_queue_hwm_lifetime")))
                 .collect(),
             // Same keys the per-rank worker pools register under: the
             // registry dedups, so these handles share the pools' cells.
@@ -459,6 +487,7 @@ impl FabricStats {
             am_retry_exhausted: self.am_retry_exhausted.get(),
             post_shutdown_sends: self.post_shutdown_sends.get(),
             rma_stale_gets: self.rma_stale_gets.get(),
+            rma_released_evictions: self.rma_released_evictions.get(),
             delivery_deadline_misses: self.delivery_deadline_misses.get(),
             transport_tx_bytes: self.transport_tx_bytes.get(),
             transport_rx_bytes: self.transport_rx_bytes.get(),
@@ -1020,6 +1049,9 @@ impl Fabric {
     /// Socket-mesh receive sink for rank `to`: re-enter arriving AM frames
     /// into the rank's packet channel; surface connection-level errors as
     /// structured TTG045s (unless the fabric is tearing down).
+    ///
+    /// The full set of frame kinds the stack consumes somewhere is recorded
+    /// in [`CONSUMED_FRAME_KINDS`]; keep it in sync with this dispatch.
     fn mesh_rx(&self, to: Rank, src: Rank, res: Result<Frame, TransportError>) {
         match res {
             Ok(Frame::Am {
@@ -1691,10 +1723,14 @@ impl Fabric {
             Some((data, release, consumed)) => {
                 if consumed {
                     // Fully consumed: remember the bytes so duplicate or
-                    // late gets racing this removal stay answerable.
+                    // late gets racing this removal stay answerable. The
+                    // cache is LRU: least-recently-served entries (front)
+                    // are evicted first, so a region still fielding late
+                    // duplicates survives churn from newer releases.
                     let mut cache = self.released[owner].lock();
                     if cache.len() >= RELEASED_CACHE {
                         cache.remove(0);
+                        self.stats.rma_released_evictions.inc();
                     }
                     cache.push((id, Arc::clone(&data)));
                 }
@@ -1702,11 +1738,16 @@ impl Fabric {
             }
             None => {
                 // Region gone from the live table: duplicate/late get.
-                let cached = self.released[owner]
-                    .lock()
-                    .iter()
-                    .find(|(rid, _)| *rid == id)
-                    .map(|(_, d)| Arc::clone(d));
+                // A hit refreshes the entry to the back of the LRU order.
+                let cached = {
+                    let mut cache = self.released[owner].lock();
+                    cache.iter().position(|(rid, _)| *rid == id).map(|pos| {
+                        let entry = cache.remove(pos);
+                        let data = Arc::clone(&entry.1);
+                        cache.push(entry);
+                        data
+                    })
+                };
                 match cached {
                     Some(d) => {
                         self.stats.rma_stale_gets.inc();
@@ -1916,6 +1957,33 @@ mod tests {
         assert_eq!(s.rma_stale_gets, 1);
         // Wire traffic counted once only (the idempotent answer is free).
         assert_eq!(s.rma_gets, 1);
+    }
+
+    #[test]
+    fn released_cache_is_lru_with_bounded_size_and_eviction_counter() {
+        let fabric = Fabric::new(2);
+        // Release the probe region first, then churn the cache to one slot
+        // short of evicting it.
+        let probe = fabric.register_region(0, Arc::new(vec![9u8; 8]), 1, None);
+        let _ = fabric.rma_get(1, 0, probe).unwrap();
+        for _ in 0..RELEASED_CACHE - 1 {
+            let id = fabric.register_region(0, Arc::new(vec![0u8; 8]), 1, None);
+            let _ = fabric.rma_get(1, 0, id).unwrap();
+        }
+        assert_eq!(fabric.stats().snapshot().rma_released_evictions, 0);
+        // A stale hit refreshes the probe to most-recently-used...
+        let dup = fabric.rma_get(1, 0, probe).unwrap();
+        assert_eq!(*dup, vec![9u8; 8]);
+        // ...so the next release evicts the oldest *other* entry and the
+        // probe stays answerable, while the cache stays at its cap.
+        let id = fabric.register_region(0, Arc::new(vec![0u8; 8]), 1, None);
+        let _ = fabric.rma_get(1, 0, id).unwrap();
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.rma_released_evictions, 1);
+        let dup2 = fabric.rma_get(1, 0, probe).unwrap();
+        assert_eq!(*dup2, vec![9u8; 8]);
+        // Without the LRU refresh the probe (oldest insert) would have
+        // been the eviction victim and this get would be UnknownRegion.
     }
 
     #[test]

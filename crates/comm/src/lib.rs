@@ -26,6 +26,7 @@
 pub mod buf;
 pub mod fabric;
 pub mod fault;
+pub mod lockdoc;
 pub mod pool;
 pub mod reliable;
 pub mod wire;

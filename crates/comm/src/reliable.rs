@@ -222,6 +222,74 @@ mod tests {
     }
 
     #[test]
+    fn window_edge_is_exact() {
+        // The stale cutoff is seq + WINDOW <= high: with high = WINDOW + 1,
+        // seq 1 sits exactly at the cutoff and seq 2 exactly inside it.
+        let mut w = SeqWindow::new();
+        for s in 3..=(WINDOW as u64 + 1) {
+            assert!(w.accept(s));
+        }
+        assert_eq!(w.high(), WINDOW as u64 + 1);
+        // Never delivered, but its slot is out the back of the window:
+        // dropped, and the sender's retry budget reports the loss.
+        assert!(!w.accept(1), "stale seq at the exact edge accepted");
+        // One inside the edge and never seen: fresh, exactly once.
+        assert!(w.accept(2), "in-window seq at the exact edge dropped");
+        assert!(!w.accept(2));
+    }
+
+    #[test]
+    fn window_slide_racing_late_retransmit_never_double_delivers() {
+        // Deliver seq 5, lose its ack, and let the link race ahead while
+        // the sender retransmits. Wherever the retransmit lands relative
+        // to the sliding edge — still in the bitmap, or already stale —
+        // it must classify duplicate.
+        let mut w = SeqWindow::new();
+        for s in 1..=5u64 {
+            assert!(w.accept(s));
+        }
+        // Slide until seq 5 is the oldest in-window slot (high - WINDOW + 1).
+        for s in 6..=(4 + WINDOW as u64) {
+            assert!(w.accept(s));
+        }
+        assert_eq!(w.high(), 4 + WINDOW as u64);
+        assert!(
+            !w.accept(5),
+            "retransmit inside the window double-delivered"
+        );
+        // One more packet pushes seq 5 out the back: now the stale path
+        // rejects it (and everything older).
+        assert!(w.accept(5 + WINDOW as u64));
+        assert!(
+            !w.accept(5),
+            "retransmit behind the window double-delivered"
+        );
+    }
+
+    #[test]
+    fn poison_then_slide_keeps_exactly_once_accounting() {
+        // The retry-exhaustion path "poisons" a seq by claiming it through
+        // the same window that delivery uses (the window is the arbiter:
+        // whoever accepts first — delivery or loss accounting — wins).
+        let mut w = SeqWindow::new();
+        for s in 1..=6u64 {
+            assert!(w.accept(s));
+        }
+        // Sender gives up on seq 7; the poison claim must win exactly once.
+        assert!(w.accept(7), "poison claim rejected");
+        // A straggler copy of 7 arriving after the poison: duplicate, so
+        // the packet can never be counted both lost and delivered.
+        assert!(!w.accept(7), "late copy delivered after poison");
+        // The window slides on (including past 7 entirely); the straggler
+        // stays rejected through both regimes and new traffic stays fresh.
+        for s in 8..=(7 + WINDOW as u64) {
+            assert!(w.accept(s), "fresh seq {s} rejected after poison");
+        }
+        assert!(!w.accept(7), "late copy delivered after poison and slide");
+        assert!(w.accept(8 + WINDOW as u64));
+    }
+
+    #[test]
     fn sentinel_zero_is_always_accepted() {
         let mut w = SeqWindow::new();
         assert!(w.accept(0));

@@ -55,6 +55,7 @@ pub mod executor;
 pub mod export;
 pub mod graph;
 pub mod inspect;
+pub mod lockdoc;
 pub mod node;
 pub mod outs;
 pub mod trace;

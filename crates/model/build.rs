@@ -1,0 +1,5 @@
+fn main() {
+    // Declare the custom cfg that flips the `sync` facade onto the shadow
+    // (scheduler-routed) primitives, so `-D warnings` builds stay clean.
+    println!("cargo:rustc-check-cfg=cfg(ttg_model)");
+}

@@ -1,0 +1,133 @@
+//! Model of `submit_batch` (`crates/runtime/src/pool.rs` +
+//! `crates/core/src/batch.rs`): a group of jobs is enqueued together and
+//! announced with a *single* `wake_seq` bump + `notify_all`.
+//!
+//! Invariants checked across all interleavings of two workers and one
+//! batching submitter:
+//! - every job in the batch executes (no task stranded — a stranded task
+//!   shows up as a deadlocked sleeping worker);
+//! - the submit path performs exactly one announce for the whole group
+//!   (the batching property PR 7 promoted into the pool).
+//!
+//! [`Mutation::SkipSeqBump`] notifies without bumping the epoch: workers
+//! already parked re-check their stale snapshot, re-pass the predicate,
+//! and go back to sleep over a non-empty queue — the checker finds the
+//! stranded-task deadlock.
+
+use crate::explore::{explore, Config, Stats, Violation};
+use crate::shadow::{AtomicU64, AtomicUsize, Condvar, Mutex};
+use crate::sync::Ordering::SeqCst;
+use crate::thread;
+use std::sync::Arc;
+
+/// Known-bad variants of the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The correct protocol.
+    None,
+    /// Announce the batch with `notify_all` but without bumping
+    /// `wake_seq`, so already-parked workers re-sleep on their stale
+    /// epoch snapshot.
+    SkipSeqBump,
+}
+
+const JOBS: usize = 2;
+
+struct Shared {
+    wake_seq: AtomicU64,
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    queue: Mutex<Vec<u64>>,
+    executed: AtomicUsize,
+    /// Announces performed by the submit path (not by finishing workers).
+    submit_announces: AtomicUsize,
+}
+
+fn announce_all(sh: &Shared) {
+    {
+        let _g = sh.sleep_lock.lock();
+        sh.wake_seq.fetch_add(1, SeqCst);
+    }
+    sh.wake.notify_all();
+}
+
+fn worker(sh: &Shared) {
+    loop {
+        let seq = sh.wake_seq.load(SeqCst);
+        if sh.executed.load(SeqCst) == JOBS {
+            return;
+        }
+        if sh.queue.lock().pop().is_some() {
+            let done = sh.executed.fetch_add(1, SeqCst) + 1;
+            if done == JOBS {
+                // Last finisher broadcasts so idle peers can exit (the
+                // model's stand-in for pool shutdown).
+                announce_all(sh);
+            }
+            continue;
+        }
+        let mut g = sh.sleep_lock.lock();
+        while sh.wake_seq.load(SeqCst) == seq && sh.executed.load(SeqCst) < JOBS {
+            sh.wake.wait(&mut g);
+        }
+        drop(g);
+    }
+}
+
+/// Two workers, one submitter batching two jobs.
+fn model(mutation: Mutation) {
+    let sh = Arc::new(Shared {
+        wake_seq: AtomicU64::named(0, "wake_seq"),
+        sleep_lock: Mutex::named((), "sleep_lock"),
+        wake: Condvar::new(),
+        queue: Mutex::named(Vec::new(), "queue"),
+        executed: AtomicUsize::named(0, "executed"),
+        submit_announces: AtomicUsize::named(0, "submit_announces"),
+    });
+
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let sh = Arc::clone(&sh);
+            thread::spawn_named(&format!("worker{i}"), move || worker(&sh))
+        })
+        .collect();
+
+    let submitter = {
+        let sh = Arc::clone(&sh);
+        thread::spawn_named("submitter", move || {
+            {
+                // The whole batch lands under one queue lock…
+                let mut q = sh.queue.lock();
+                for j in 0..JOBS as u64 {
+                    q.push(j);
+                }
+            }
+            // …and is announced exactly once.
+            sh.submit_announces.fetch_add(1, SeqCst);
+            match mutation {
+                Mutation::None => announce_all(&sh),
+                Mutation::SkipSeqBump => sh.wake.notify_all(),
+            }
+        })
+    };
+
+    submitter.join();
+    for w in workers {
+        w.join();
+    }
+    let executed = sh.executed.load(SeqCst);
+    assert!(
+        executed == JOBS,
+        "batch stranded jobs: executed {executed} of {JOBS}"
+    );
+    let announces = sh.submit_announces.load(SeqCst);
+    assert!(
+        announces == 1,
+        "batch submit announced {announces} times, want exactly 1"
+    );
+}
+
+/// Explore the protocol under `cfg`.
+pub fn check(cfg: Config, mutation: Mutation) -> Result<Stats, Box<Violation>> {
+    explore(cfg, move || model(mutation))
+}

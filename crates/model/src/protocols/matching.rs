@@ -1,0 +1,125 @@
+//! Model of the sharded matching-table insert (`crates/core/src/node.rs`,
+//! `ShardedTable`): producers `put` values, consumers `take` demand, and
+//! whichever side arrives second must claim the match — exactly once —
+//! under the shard lock.
+//!
+//! The model uses two shards (key → shard by low bit, mirroring the
+//! high-bits shard pick) and two threads racing put/take over one key per
+//! shard. Invariant: every (put, take) pair matches exactly once.
+//!
+//! [`Mutation::CheckThenAct`] splits the presence check and the
+//! claim/insert into two separate critical sections — the TOCTOU the
+//! single-lock protocol exists to prevent. Both sides can then observe
+//! "no match present" and insert their own entry, so the pair never
+//! matches (launch count 0) and one entry is leaked; the checker reports
+//! the failed exactly-once assertion with the interleaving.
+
+use crate::explore::{explore, Config, Stats, Violation};
+use crate::shadow::{AtomicUsize, Mutex};
+use crate::sync::Ordering::SeqCst;
+use crate::thread;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Known-bad variants of the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The correct protocol: check-and-claim in one critical section.
+    None,
+    /// Presence check and claim/insert in separate critical sections.
+    CheckThenAct,
+}
+
+/// What one side of a pending match left in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    /// A produced value waiting for its consumer.
+    Val,
+    /// A consumer waiting for its value.
+    Demand,
+}
+
+const SHARDS: usize = 2;
+
+struct Table {
+    shards: Vec<Mutex<HashMap<u64, Side>>>,
+    launches: AtomicUsize,
+}
+
+impl Table {
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Side>> {
+        &self.shards[(key as usize) % SHARDS]
+    }
+
+    /// One side (put or take) arrives for `key`.
+    fn arrive(&self, key: u64, side: Side, mutation: Mutation) {
+        match mutation {
+            Mutation::None => {
+                // Remove-or-insert under one lock: the removal *is* the
+                // exactly-once claim.
+                let claimed = {
+                    let mut m = self.shard(key).lock();
+                    if m.remove(&key).is_some() {
+                        true
+                    } else {
+                        m.insert(key, side);
+                        false
+                    }
+                };
+                if claimed {
+                    self.launches.fetch_add(1, SeqCst);
+                }
+            }
+            Mutation::CheckThenAct => {
+                // TOCTOU: the peer can slip between the check and the act.
+                let present = { self.shard(key).lock().contains_key(&key) };
+                if present {
+                    let claimed = self.shard(key).lock().remove(&key).is_some();
+                    if claimed {
+                        self.launches.fetch_add(1, SeqCst);
+                    }
+                } else {
+                    self.shard(key).lock().insert(key, side);
+                }
+            }
+        }
+    }
+}
+
+/// Two threads racing put/take over one key per shard.
+fn model(mutation: Mutation) {
+    let table = Arc::new(Table {
+        shards: (0..SHARDS)
+            .map(|i| Mutex::named(HashMap::new(), &format!("shard{i}")))
+            .collect(),
+        launches: AtomicUsize::named(0, "launches"),
+    });
+
+    let producer = {
+        let t = Arc::clone(&table);
+        thread::spawn_named("producer", move || {
+            t.arrive(0, Side::Val, mutation);
+            t.arrive(1, Side::Val, mutation);
+        })
+    };
+    let consumer = {
+        let t = Arc::clone(&table);
+        thread::spawn_named("consumer", move || {
+            t.arrive(0, Side::Demand, mutation);
+            t.arrive(1, Side::Demand, mutation);
+        })
+    };
+
+    producer.join();
+    consumer.join();
+    let launches = table.launches.load(SeqCst);
+    assert!(
+        launches == SHARDS,
+        "matching violated exactly-once: {launches} launches for {SHARDS} pairs"
+    );
+}
+
+/// Explore the protocol under `cfg`.
+pub fn check(cfg: Config, mutation: Mutation) -> Result<Stats, Box<Violation>> {
+    explore(cfg, move || model(mutation))
+}

@@ -1,0 +1,89 @@
+//! The switchable sync facade. Production crates import their atomics,
+//! locks, and channels from here instead of std/parking_lot:
+//!
+//! - In a normal build this module is zero-cost re-exports of the real
+//!   types — nothing changes.
+//! - Under `RUSTFLAGS="--cfg ttg_model"` the same names resolve to the
+//!   scheduler-routed shadow primitives from [`crate::shadow`], so every
+//!   atomic load/store/RMW, lock acquire, and channel op becomes a
+//!   schedule-exploration yield point.
+//!
+//! [`EventCount`] (the wake_seq-style condvar-equivalent used by the
+//! worker pool's sleep protocol) is defined once over the facade types, so
+//! it is automatically model-checkable too.
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(not(ttg_model))]
+pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+
+#[cfg(not(ttg_model))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard};
+
+#[cfg(not(ttg_model))]
+pub use std::sync::mpsc::{channel, Receiver, RecvError, Sender};
+
+#[cfg(ttg_model)]
+pub use crate::shadow::{
+    channel, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard, Receiver,
+    RecvError, Sender,
+};
+
+/// Event counter for lost-wakeup-free sleeping, mirroring the worker
+/// pool's `wake_seq` protocol: a sleeper snapshots the epoch, re-checks
+/// its work source, and only commits to waiting while the epoch is
+/// unchanged; a signaler bumps the epoch *under the lock* so the bump
+/// cannot slip between the sleeper's predicate check and its wait.
+pub struct EventCount {
+    seq: AtomicU64,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl EventCount {
+    pub fn new() -> Self {
+        EventCount {
+            seq: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Snapshot the epoch; pass it to [`EventCount::wait_while`].
+    pub fn epoch(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Publish an event and wake one sleeper.
+    pub fn signal_one(&self) {
+        {
+            let _g = self.lock.lock();
+            self.seq.fetch_add(1, Ordering::SeqCst);
+        }
+        self.cv.notify_one();
+    }
+
+    /// Publish an event and wake every sleeper.
+    pub fn signal_all(&self) {
+        {
+            let _g = self.lock.lock();
+            self.seq.fetch_add(1, Ordering::SeqCst);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Sleep while the epoch still equals `epoch` and `still` holds.
+    /// Returns after a signal (or immediately if either check fails).
+    pub fn wait_while(&self, epoch: u64, mut still: impl FnMut() -> bool) {
+        let mut g = self.lock.lock();
+        while self.seq.load(Ordering::SeqCst) == epoch && still() {
+            self.cv.wait(&mut g);
+        }
+    }
+}
+
+impl Default for EventCount {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,99 @@
+//! Model threads: controlled [`spawn`]/[`JoinHandle::join`] whose
+//! interleaving the scheduler owns. Each model thread is a real OS thread,
+//! but the baton-passing in [`crate::sched`] ensures only one runs at a
+//! time and registration happens serially in the spawner, so thread
+//! identity is deterministic across replays.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::sched::{self, ModelAbort, Op, OpKind, Scheduler, Tid};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: Tid,
+    result: Arc<parking_lot::Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Block (as a schedule point) until the thread finishes, then take its
+    /// return value.
+    pub fn join(self) -> T {
+        let (s, tid) = sched::current();
+        s.yield_op(
+            tid,
+            Op {
+                kind: OpKind::Join,
+                obj: sched::thread_obj(self.tid),
+                arg: self.tid as u64,
+            },
+        );
+        self.result
+            .lock()
+            .take()
+            .expect("joined model thread left no result")
+    }
+}
+
+/// Spawn a named model thread running `f` under the current run's
+/// scheduler. It becomes schedulable immediately; whether it runs before
+/// the spawner's next operation is the explorer's decision.
+pub fn spawn_named<T, F>(name: &str, f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (s, _) = sched::current();
+    let tid = s.register_thread(name.to_string());
+    let result = Arc::new(parking_lot::Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let s2 = Arc::clone(&s);
+    let h = std::thread::Builder::new()
+        .name(format!("ttg-model-{name}"))
+        .spawn(move || {
+            run_model_thread(s2, tid, move || {
+                let out = f();
+                *slot.lock() = Some(out);
+            })
+        })
+        .expect("spawn model thread");
+    s.handles.lock().push(h);
+    JoinHandle { tid, result }
+}
+
+/// [`spawn_named`] with an automatic name.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    spawn_named("thread", f)
+}
+
+/// Body of every model OS thread: bind the scheduler, wait for the first
+/// grant, run the payload, classify how it ended.
+pub(crate) fn run_model_thread(s: Arc<Scheduler>, tid: Tid, f: impl FnOnce()) {
+    sched::set_current(Some((Arc::clone(&s), tid)));
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        s.wait_start(tid);
+        f();
+    }));
+    let failure = match res {
+        Ok(()) => None,
+        // Run-abort unwinds are bookkeeping, not failures of this thread.
+        Err(p) if p.downcast_ref::<ModelAbort>().is_some() => None,
+        Err(p) => Some(panic_message(&*p)),
+    };
+    s.thread_exit(tid, failure);
+    sched::set_current(None);
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}

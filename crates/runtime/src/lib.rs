@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod lockdoc;
 pub mod pool;
 pub mod quiesce;
 pub mod safra;

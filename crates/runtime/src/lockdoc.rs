@@ -1,0 +1,25 @@
+//! Lock-discipline annotations for the worker pool, consumed by the
+//! `ttg-check` lock-order analysis (diagnostics TTG050/TTG051).
+//!
+//! The pool holds at most one of these mutexes at a time. The park
+//! protocol is the sensitive spot: `announce_work`/`announce_batch` bump
+//! `wake_seq` under `sleep_lock` and notify *after* dropping it, and a
+//! parking worker re-checks the counter under the same lock — correctness
+//! comes from the lock/counter pairing, never from nesting. The per-worker
+//! `bound` queues are striped; a worker drops its own queue's lock before
+//! poaching a peer's.
+
+/// Every mutex class in the pool, by field name.
+pub const LOCK_CLASSES: &[&str] = &[
+    "pool.bound.q",
+    "pool.prio",
+    "pool.central",
+    "pool.sleep_lock",
+    "pool.threads",
+];
+
+/// Permitted nestings, outer acquired first. The pool sanctions none.
+pub const LOCK_ORDER: &[(&str, &str)] = &[];
+
+/// Striped classes: one `bound.q` per worker, never two held at once.
+pub const STRIPED_LOCKS: &[(&str, bool)] = &[("pool.bound.q", false)];

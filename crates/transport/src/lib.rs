@@ -25,6 +25,7 @@
 pub mod frame;
 pub mod inproc;
 pub mod link;
+pub mod lockdoc;
 pub mod socket;
 
 use std::sync::Arc;

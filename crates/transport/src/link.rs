@@ -183,8 +183,13 @@ pub struct TransportMetrics {
     pub reconnects: Counter,
     /// Handshakes refused (magic/version/rank mismatch).
     pub handshake_failures: Counter,
-    /// Per-peer send-queue high-water marks (frames).
+    /// Per-peer send-queue high-water marks (frames) **for the current
+    /// connection**: reset on every (re)establishment so a post-reconnect
+    /// reading describes the live connection, not the dead one's peak.
     pub queue_hwm: Vec<Gauge>,
+    /// Per-peer lifetime send-queue high-water marks (frames): never
+    /// reset, the all-time peak across reconnects.
+    pub queue_hwm_lifetime: Vec<Gauge>,
 }
 
 impl TransportMetrics {
@@ -201,16 +206,65 @@ impl TransportMetrics {
             queue_hwm: (0..n)
                 .map(|r| reg.gauge(MetricKey::ranked(r, "transport", "send_queue_hwm")))
                 .collect(),
+            queue_hwm_lifetime: (0..n)
+                .map(|r| reg.gauge(MetricKey::ranked(r, "transport", "send_queue_hwm_lifetime")))
+                .collect(),
         }
     }
 
-    /// Raise the high-water mark for `peer`'s send queue to at least `len`.
+    /// Raise the high-water marks for `peer`'s send queue to at least
+    /// `len` — both the per-connection gauge and the lifetime one.
     pub fn note_queue_len(&self, peer: Rank, len: usize) {
-        if let Some(g) = self.queue_hwm.get(peer) {
-            // Racy max is fine: the mark is a diagnostic, not an invariant.
-            if (len as i64) > g.get() {
-                g.set(len as i64);
+        for marks in [&self.queue_hwm, &self.queue_hwm_lifetime] {
+            if let Some(g) = marks.get(peer) {
+                // Racy max is fine: the mark is a diagnostic, not an
+                // invariant.
+                if (len as i64) > g.get() {
+                    g.set(len as i64);
+                }
             }
         }
+    }
+
+    /// Start a fresh per-connection high-water mark for `peer` (called
+    /// when a replaced connection is established; the lifetime mark is
+    /// untouched). Frames still queued from before the reconnect are
+    /// re-noted by the next push.
+    pub fn reset_queue_hwm(&self, peer: Rank) {
+        if let Some(g) = self.queue_hwm.get(peer) {
+            g.set(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_hwm_resets_per_connection_but_lifetime_max_survives() {
+        let reg = Registry::new();
+        let m = TransportMetrics::register(&reg, 2);
+        m.note_queue_len(1, 7);
+        m.note_queue_len(1, 3); // below the mark: no effect
+        assert_eq!(m.queue_hwm[1].get(), 7);
+        assert_eq!(m.queue_hwm_lifetime[1].get(), 7);
+
+        // Reconnect: the per-connection mark starts over, the lifetime
+        // mark keeps the dead connection's peak.
+        m.reset_queue_hwm(1);
+        assert_eq!(m.queue_hwm[1].get(), 0);
+        assert_eq!(m.queue_hwm_lifetime[1].get(), 7);
+
+        // A shallower queue on the new connection is visible in the
+        // per-connection mark (the pre-fix bug: it reported 7 forever)
+        // while the lifetime mark still answers "worst ever".
+        m.note_queue_len(1, 2);
+        assert_eq!(m.queue_hwm[1].get(), 2);
+        assert_eq!(m.queue_hwm_lifetime[1].get(), 7);
+
+        // Out-of-range peers are ignored, not a panic.
+        m.note_queue_len(9, 1);
+        m.reset_queue_hwm(9);
     }
 }

@@ -22,11 +22,10 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+use ttg_model::sync::{AtomicBool, AtomicU64, Condvar, Mutex, Ordering};
 
-use parking_lot::{Condvar, Mutex};
 use ttg_telemetry::Registry;
 
 use crate::frame::{Frame, FrameCodec, MAGIC, PROTOCOL_VERSION};
@@ -335,6 +334,12 @@ impl Inner {
             self.ready_cv.notify_all();
         } else {
             self.metrics.reconnects.inc();
+            // A replaced connection gets a fresh per-peer send-queue
+            // high-water mark, so post-reconnect readings describe the
+            // live connection instead of the dead one's peak (frames
+            // queued before the first connection count against it). The
+            // lifetime mark in the registry keeps the all-time peak.
+            self.metrics.reset_queue_hwm(peer);
         }
         let inner = Arc::clone(self);
         let h = std::thread::Builder::new()

@@ -6,12 +6,20 @@
 //! and a streaming terminal reducing a bounded message stream.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! With `--model`, skip the demo and run the concurrency audit instead:
+//! the ttg-model protocol corpus (exhaustive schedule exploration) plus
+//! the lock-order and wire-protocol analyses, exported to
+//! `results/model_report.json`.
 
 use std::sync::{Arc, Mutex};
 
 use ttg::core::prelude::*;
 
 fn main() {
+    // `--model` runs the concurrency audit and exits (see ttg::check).
+    ttg::check::model_from_args();
+
     // Edges: each carries (task ID, data) messages.
     let start: Edge<u32, Ctl> = Edge::new("start");
     let values: Edge<u32, f64> = Edge::new("values");
