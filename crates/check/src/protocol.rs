@@ -154,6 +154,42 @@ mod tests {
     }
 
     #[test]
+    fn production_protocol_covers_ack_range() {
+        // The batched-acknowledgement control frame must be registered on
+        // both sides of the join: defined by the wire with ack+seq
+        // annotations (so TTG053 applies to it) and listed as consumed
+        // (so TTG052 would fire if its dispatch arm were removed).
+        let spec = transport_spec();
+        let entry = spec
+            .kinds
+            .iter()
+            .find(|k| k.0 == "AckRange")
+            .expect("wire must define AckRange");
+        assert!(entry.1, "AckRange is an acknowledgement kind");
+        assert!(entry.2, "AckRange carries the sequences it acknowledges");
+        assert!(
+            spec.consumed.contains(&"AckRange"),
+            "mesh_rx must be registered as AckRange's terminal"
+        );
+    }
+
+    #[test]
+    fn seqless_ranged_ack_fires_ttg053() {
+        // Corpus case for the batched-ack shape: an AckRange-like kind
+        // whose ranges were dropped from the encoding can never clear the
+        // sender's retransmit entries.
+        let spec = WireSpec {
+            name: "synthetic",
+            kinds: &[("Am", false, true, None), ("AckRange", true, false, None)],
+            consumed: &["Am", "AckRange"],
+        };
+        let report = analyze(&spec);
+        assert!(report.has_code("TTG053"), "{}", report.render());
+        assert_eq!(report.errors(), 1);
+        assert!(report.diagnostics[0].message.contains("AckRange"));
+    }
+
+    #[test]
     fn seqless_ack_fires_ttg053() {
         let spec = WireSpec {
             name: "synthetic",

@@ -33,10 +33,12 @@ use ttg_model::sync::{AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, Orderi
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use ttg_telemetry::{Counter, Gauge, MetricKey, Registry};
-use ttg_transport::{local_mesh, Endpoint, Frame, TransportError, TransportKind, TransportSpec};
+use ttg_transport::{
+    local_mesh, Endpoint, Frame, Link, TransportError, TransportKind, TransportSpec,
+};
 
 use crate::fault::{salt, FaultPlan};
-use crate::reliable::{LinkTx, SeqWindow, Unacked};
+use crate::reliable::{LinkTx, PendingAcks, SeqWindow, Unacked};
 
 /// Logical process rank within the fabric.
 pub type Rank = usize;
@@ -54,12 +56,15 @@ const RELEASED_CACHE: usize = 64;
 /// the wire defines but nobody terminates means sends silently vanish).
 ///
 /// `Hello` and `Bye` terminate inside the transport (handshake and reader
-/// teardown); `Ack` terminates in the reliable layer's accept path; the
+/// teardown); `Ack` terminates in the reliable layer's accept path;
+/// `AckRange` — the batched form — terminates in the mesh receive
+/// dispatch (`mesh_rx`), which clears the acked retransmit entries; the
 /// rest terminate in the fabric's receive dispatch (`remote_rx`).
 pub const CONSUMED_FRAME_KINDS: &[&str] = &[
     "Hello",
     "Am",
     "Ack",
+    "AckRange",
     "RmaReq",
     "RmaResp",
     "BarrierEnter",
@@ -327,6 +332,15 @@ pub struct FabricStats {
     am_dedup_hits: Counter,
     /// Logical packets abandoned after the retry budget ran out.
     am_retry_exhausted: Counter,
+    /// Acknowledgement flush events: one per batched-ack range set sent
+    /// (or, under immediate acks, one per per-message ack), so
+    /// acks-per-message = `ack_flushes / am_count`.
+    ack_flushes: Counter,
+    /// Sequence numbers acknowledged through batched range flushes.
+    acks_batched: Counter,
+    /// Of those, seqs whose flush piggybacked on reverse-direction data
+    /// (the rest went out on the flush timer).
+    acks_piggybacked: Counter,
     /// Sends that hit a closed channel (post-shutdown no-ops).
     post_shutdown_sends: Counter,
     /// Late/duplicate one-sided fetches answered from the released-region
@@ -351,6 +365,12 @@ pub struct FabricStats {
     transport_reconnects: Counter,
     /// Handshakes refused (magic/version/rank mismatch).
     transport_handshake_failures: Counter,
+    /// Writer-thread write syscalls (one per gathered batch).
+    transport_tx_writes: Counter,
+    /// Frames that rode a coalesced write instead of paying for their own.
+    transport_tx_frames_coalesced: Counter,
+    /// Frames a writer dropped after reconnect recovery failed.
+    transport_tx_frames_abandoned: Counter,
     /// Per-peer send-queue high-water marks (frames).
     transport_queue_hwm: Vec<Gauge>,
     /// Per-rank scheduler ready-queue high-water marks (jobs on one
@@ -391,6 +411,13 @@ pub struct StatsSnapshot {
     pub am_dedup_hits: u64,
     /// Logical packets abandoned (retry budget exhausted).
     pub am_retry_exhausted: u64,
+    /// Ack flush events (batched range sets, or per-message immediate
+    /// acks): acks-per-message = `ack_flushes / am_count`.
+    pub ack_flushes: u64,
+    /// Sequence numbers acknowledged via batched ranges.
+    pub acks_batched: u64,
+    /// Batched-acked seqs that piggybacked on reverse-direction data.
+    pub acks_piggybacked: u64,
     /// Post-shutdown sends absorbed as counted no-ops.
     pub post_shutdown_sends: u64,
     /// Late/duplicate RMA fetches served idempotently.
@@ -409,6 +436,14 @@ pub struct StatsSnapshot {
     pub transport_reconnects: u64,
     /// Link-layer handshakes refused.
     pub transport_handshake_failures: u64,
+    /// Writer-thread write syscalls. Frames-per-write =
+    /// `(transport_tx_writes + transport_tx_frames_coalesced) /
+    /// transport_tx_writes`.
+    pub transport_tx_writes: u64,
+    /// Frames that rode a coalesced write instead of their own syscall.
+    pub transport_tx_frames_coalesced: u64,
+    /// Frames abandoned by a writer after failed reconnect recovery.
+    pub transport_tx_frames_abandoned: u64,
     /// Highest per-peer send-queue depth ever observed (frames; the
     /// lifetime mark, surviving transport reconnects — the per-connection
     /// `send_queue_hwm` gauge resets on every establishment).
@@ -438,6 +473,9 @@ impl FabricStats {
             am_delayed_injected: c("am_delayed_injected"),
             am_dedup_hits: c("am_dedup_hits"),
             am_retry_exhausted: c("am_retry_exhausted"),
+            ack_flushes: c("ack_flushes"),
+            acks_batched: c("acks_batched"),
+            acks_piggybacked: c("acks_piggybacked"),
             post_shutdown_sends: c("post_shutdown_sends"),
             rma_stale_gets: c("rma_stale_gets"),
             rma_released_evictions: c("rma_released_evictions"),
@@ -456,6 +494,9 @@ impl FabricStats {
             transport_connects: t("connects"),
             transport_reconnects: t("reconnects"),
             transport_handshake_failures: t("handshake_failures"),
+            transport_tx_writes: t("tx_writes"),
+            transport_tx_frames_coalesced: t("tx_frames_coalesced"),
+            transport_tx_frames_abandoned: t("tx_frames_abandoned"),
             transport_queue_hwm: (0..n)
                 .map(|r| reg.gauge(MetricKey::ranked(r, "transport", "send_queue_hwm_lifetime")))
                 .collect(),
@@ -485,6 +526,9 @@ impl FabricStats {
             am_delayed_injected: self.am_delayed_injected.get(),
             am_dedup_hits: self.am_dedup_hits.get(),
             am_retry_exhausted: self.am_retry_exhausted.get(),
+            ack_flushes: self.ack_flushes.get(),
+            acks_batched: self.acks_batched.get(),
+            acks_piggybacked: self.acks_piggybacked.get(),
             post_shutdown_sends: self.post_shutdown_sends.get(),
             rma_stale_gets: self.rma_stale_gets.get(),
             rma_released_evictions: self.rma_released_evictions.get(),
@@ -494,6 +538,9 @@ impl FabricStats {
             transport_connects: self.transport_connects.get(),
             transport_reconnects: self.transport_reconnects.get(),
             transport_handshake_failures: self.transport_handshake_failures.get(),
+            transport_tx_writes: self.transport_tx_writes.get(),
+            transport_tx_frames_coalesced: self.transport_tx_frames_coalesced.get(),
+            transport_tx_frames_abandoned: self.transport_tx_frames_abandoned.get(),
             transport_queue_hwm: self
                 .transport_queue_hwm
                 .iter()
@@ -537,6 +584,10 @@ struct ChaosState {
     /// Receive-side dedup windows: per destination rank, one window per
     /// incoming link row (`n + 1` rows).
     windows: Vec<Mutex<Vec<SeqWindow>>>,
+    /// Receive-side batched-ack accumulators, indexed like `links` (entry
+    /// `link_idx(from, to)` holds the acks rank `to` owes rank `from`).
+    /// Unused (always empty) when `plan.immediate_acks` is set.
+    pending_acks: Vec<Mutex<PendingAcks>>,
     /// Packets held by delay/reorder injection.
     delayq: Mutex<Vec<Delayed>>,
     /// Sequenced packets received per rank (drives kill scripts).
@@ -557,6 +608,10 @@ enum LinkLayer {
     Mesh {
         /// Element `r` is rank `r`'s endpoint.
         endpoints: Vec<Arc<dyn Endpoint>>,
+        /// `links[from * n + to]`, `None` on the diagonal. Cached at
+        /// construction: `Endpoint::link` builds a fresh `Arc` per call,
+        /// which is an allocation the per-message send path can skip.
+        links: Vec<Option<Arc<dyn Link>>>,
     },
     /// This process is **one rank** of a multi-process job. RMA, barrier,
     /// and termination detection all become message protocols.
@@ -719,12 +774,24 @@ impl Fabric {
                 } else {
                     TransportKind::Uds
                 };
-                let endpoints = local_mesh(kind, n, &telemetry)
+                let endpoints: Vec<Arc<dyn Endpoint>> = local_mesh(kind, n, &telemetry)
                     .map_err(|e| transport_err(e.to_string()))?
                     .into_iter()
                     .map(|ep| ep as Arc<dyn Endpoint>)
                     .collect();
-                LinkLayer::Mesh { endpoints }
+                // Cache one link per ordered pair. Under the legacy wire
+                // mode (`TTG_WIRE_COALESCE_BUDGET=0`, the bench_wire
+                // baseline) the cache stays empty and every message
+                // allocates a fresh link, as the pre-overhaul fabric did —
+                // the A/B must reproduce that cost, not just the writer's.
+                let legacy = std::env::var("TTG_WIRE_COALESCE_BUDGET").as_deref() == Ok("0");
+                let mut links = Vec::with_capacity(n * n);
+                for f in 0..n {
+                    for t in 0..n {
+                        links.push((!legacy && f != t).then(|| endpoints[f].link(t)));
+                    }
+                }
+                LinkLayer::Mesh { endpoints, links }
             }
             TransportSpec::Remote(h) => {
                 if plan.is_some() {
@@ -761,6 +828,9 @@ impl Fabric {
             windows: (0..n)
                 .map(|_| Mutex::new(vec![SeqWindow::new(); n + 1]))
                 .collect(),
+            pending_acks: (0..(n + 1) * n)
+                .map(|_| Mutex::new(PendingAcks::default()))
+                .collect(),
             delayq: Mutex::new(Vec::new()),
             rx_packets: (0..n).map(|_| AtomicU64::new(0)).collect(),
             killed: (0..n).map(|_| AtomicBool::new(false)).collect(),
@@ -787,7 +857,7 @@ impl Fabric {
         // alive past its last strong handle.
         match &fabric.wire {
             LinkLayer::Channels => {}
-            LinkLayer::Mesh { endpoints } => {
+            LinkLayer::Mesh { endpoints, .. } => {
                 for (r, ep) in endpoints.iter().enumerate() {
                     let weak = Arc::downgrade(&fabric);
                     ep.start(Arc::new(move |src, res| {
@@ -967,6 +1037,13 @@ impl Fabric {
                     );
                     seq
                 };
+                // Piggyback: flush any acks `from` owes `to` first, so on
+                // a socket mesh the AckRange frame lands in the same
+                // coalesced write as this data frame. Sentinel senders
+                // (`from >= n`) receive nothing and never owe acks.
+                if from < self.n {
+                    self.flush_acks(cs, self.link_idx(to, from), true);
+                }
                 self.transmit(cs, from, to, handler, seq, &payload, 0);
                 return Ok(());
             }
@@ -1016,14 +1093,21 @@ impl Fabric {
         seq: u64,
         payload: Vec<u8>,
     ) -> Result<(), SendError> {
-        if let LinkLayer::Mesh { endpoints } = &self.wire {
+        if let LinkLayer::Mesh { endpoints, links } = &self.wire {
             if from != to && from < self.n {
-                return match endpoints[from].link(to).send(Frame::Am {
+                let frame = Frame::Am {
                     from: from as u32,
                     handler,
                     seq,
                     payload,
-                }) {
+                };
+                // Cached link on the fast path; an empty cache entry means
+                // legacy mode, which allocates one per message.
+                let sent = match links[from * self.n + to].as_ref() {
+                    Some(link) => link.send(frame),
+                    None => endpoints[from].link(to).send(frame),
+                };
+                return match sent {
                     Ok(()) => Ok(()),
                     Err(e) => {
                         self.transport_send_failed(from, to, Some(handler), e);
@@ -1070,6 +1154,14 @@ impl Fabric {
                     .is_err()
                 {
                     self.stats.post_shutdown_sends.inc();
+                }
+            }
+            Ok(Frame::AckRange { ranges, .. }) => {
+                // A peer's batched acknowledgement: `to` is the original
+                // data sender, `src` the acker. Retire the covered
+                // sequences from the sender-side retransmit map.
+                if let Some(cs) = &self.chaos {
+                    self.apply_ack_ranges(cs, self.link_idx(to, src), &ranges);
                 }
             }
             Ok(_) => {} // control frames are transport-internal
@@ -1206,8 +1298,12 @@ impl Fabric {
                 rs.done.store(true, Ordering::SeqCst);
             }
             // Handshake and teardown frames are transport-internal; ack
-            // frames only exist under the (in-process) reliable layer.
-            Frame::Hello { .. } | Frame::Ack { .. } | Frame::Bye { .. } => {}
+            // frames (single and ranged) only exist under the
+            // (in-process) reliable layer.
+            Frame::Hello { .. }
+            | Frame::Ack { .. }
+            | Frame::AckRange { .. }
+            | Frame::Bye { .. } => {}
         }
     }
 
@@ -1259,7 +1355,7 @@ impl Fabric {
     pub fn transport_name(&self) -> &'static str {
         match &self.wire {
             LinkLayer::Channels => "inproc",
-            LinkLayer::Mesh { endpoints } => endpoints[0].kind().name(),
+            LinkLayer::Mesh { endpoints, .. } => endpoints[0].kind().name(),
             LinkLayer::Remote(rs) => match rs.endpoint.kind() {
                 TransportKind::Tcp => "remote-tcp",
                 TransportKind::Uds => "remote-uds",
@@ -1448,18 +1544,102 @@ impl Fabric {
         }
         // Acknowledge on every receipt (duplicates re-ack, covering a
         // previously lost ack). The receiver's acceptance itself is always
-        // recorded on the sender entry; only the ack packet is lossy.
+        // recorded on the sender entry via `delivered`; only the ack
+        // traffic is lossy.
         let link = self.link_idx(from, to);
-        let mut tx = cs.links[link].lock();
-        if let Some(e) = tx.unacked.get_mut(&seq) {
-            e.delivered = true;
-            let ack_lost = cs.plan.drop > 0.0
-                && cs.plan.roll(salt::ACK, link as u64, seq, e.attempts) < cs.plan.drop;
-            if !ack_lost {
+        if cs.plan.immediate_acks {
+            // Legacy one-ack-per-message mode: the ack "packet" is rolled
+            // and applied right here. Each receipt is one flush event so
+            // acks-per-message reads ~1.0 on this path.
+            let mut tx = cs.links[link].lock();
+            if let Some(e) = tx.unacked.get_mut(&seq) {
+                e.delivered = true;
+                let ack_lost = cs.plan.drop > 0.0
+                    && cs.plan.roll(salt::ACK, link as u64, seq, e.attempts) < cs.plan.drop;
+                if !ack_lost {
+                    tx.unacked.remove(&seq);
+                }
+            }
+            self.stats.ack_flushes.inc();
+        } else {
+            // Batched mode: record acceptance on the sender entry, then
+            // park the sequence in the per-link range accumulator. The
+            // actual ack travels later — piggybacked on the next data
+            // frame to the sender or pushed out by the flush timer.
+            {
+                let mut tx = cs.links[link].lock();
+                if let Some(e) = tx.unacked.get_mut(&seq) {
+                    e.delivered = true;
+                }
+            }
+            cs.pending_acks[link].lock().note(seq, Instant::now());
+        }
+        fresh
+    }
+
+    /// Flush one link's accumulated acknowledgements: drain the range
+    /// accumulator and retire the covered sequences from the sender's
+    /// retransmit map — via an [`Frame::AckRange`] control frame on socket
+    /// meshes (so the ack shares the coalesced wire write with data), or
+    /// by direct shared-memory removal on the channel layer and for
+    /// out-of-fabric sentinel senders, which have no inbound link.
+    ///
+    /// Under injected loss a whole flush can be dropped (one ack roll per
+    /// flush, not per message). Recovery needs no extra machinery: the
+    /// sender retransmits, the receiver's dedup hit re-notes the
+    /// sequences, and a later flush covers them.
+    fn flush_acks(&self, cs: &ChaosState, li: usize, piggyback: bool) {
+        let (ranges, ordinal) = {
+            let mut pa = cs.pending_acks[li].lock();
+            if pa.is_empty() {
+                return;
+            }
+            pa.take()
+        };
+        self.stats.ack_flushes.inc();
+        if piggyback {
+            self.stats.acks_piggybacked.inc();
+        }
+        let plan = &cs.plan;
+        if plan.drop > 0.0
+            && plan.roll(salt::ACK, li as u64, ranges[0].0, ordinal as u32) < plan.drop
+        {
+            return; // whole flush lost; retransmits re-note the seqs
+        }
+        self.stats
+            .acks_batched
+            .add(ranges.iter().map(|&(a, b)| b - a + 1).sum());
+        let sender_row = li / self.n;
+        let acker = li % self.n;
+        if sender_row < self.n && acker != sender_row {
+            if let LinkLayer::Mesh { endpoints, links } = &self.wire {
+                let frame = Frame::AckRange {
+                    from: acker as u32,
+                    ranges: ranges.clone(),
+                };
+                let sent = match links[acker * self.n + sender_row].as_ref() {
+                    Some(link) => link.send(frame),
+                    None => endpoints[acker].link(sender_row).send(frame),
+                };
+                if sent.is_ok() {
+                    return; // applied on arrival in `mesh_rx`
+                }
+                // Wire teardown must not strand retransmit state: fall
+                // through to direct removal.
+            }
+        }
+        self.apply_ack_ranges(cs, li, &ranges);
+    }
+
+    /// Retire every sequence covered by `ranges` from link `li`'s
+    /// retransmit map (shared-memory ack application).
+    fn apply_ack_ranges(&self, cs: &ChaosState, li: usize, ranges: &[(u64, u64)]) {
+        let mut tx = cs.links[li].lock();
+        for &(first, last) in ranges {
+            for seq in first..=last {
                 tx.unacked.remove(&seq);
             }
         }
-        fresh
     }
 
     /// One pass of the reliability progress engine: release due delayed
@@ -1489,6 +1669,16 @@ impl Fabric {
                 continue;
             }
             let _ = self.phys_deliver(d.from, d.to, d.handler, d.seq, (*d.payload).clone());
+        }
+        // Flush ack accumulators whose oldest entry has aged past the
+        // flush deadline — before the retransmit scan, so a due ack beats
+        // a spurious retransmission of the packets it covers.
+        if !cs.plan.immediate_acks {
+            for li in 0..cs.pending_acks.len() {
+                if cs.pending_acks[li].lock().due(now, cs.plan.ack_flush) {
+                    self.flush_acks(cs, li, false);
+                }
+            }
         }
         // Retransmit / abandon overdue unacked packets.
         for (li, l) in cs.links.iter().enumerate() {
@@ -1579,7 +1769,7 @@ impl Fabric {
         }
         match &self.wire {
             LinkLayer::Channels => {}
-            LinkLayer::Mesh { endpoints } => {
+            LinkLayer::Mesh { endpoints, .. } => {
                 for ep in endpoints {
                     ep.shutdown();
                 }
@@ -2174,6 +2364,83 @@ mod tests {
         let s = fabric.stats().snapshot();
         assert!(s.am_retries > 0, "drops must force retransmissions");
         assert!(s.am_dropped_injected > 0);
+    }
+
+    #[test]
+    fn batched_acks_retire_unacked_in_few_flushes() {
+        // Default plan: batching on, 100 µs flush timer, no loss. Twenty
+        // messages must be acknowledged by far fewer flush events, and
+        // every sequence must be covered by a batched range.
+        let plan = FaultPlan::seeded(31);
+        let fabric = Fabric::with_faults(2, Some(plan));
+        let rx1 = fabric.take_receiver(1);
+        let n = 20;
+        for _ in 0..n {
+            fabric.send_am(0, 1, 7, vec![6]).unwrap();
+        }
+        while pump(&fabric, &rx1, 1).is_some() {}
+        // Let the flush timer come due, then tick explicitly so the test
+        // does not depend on the progress thread's scheduling.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            fabric.progress();
+            let s = fabric.stats().snapshot();
+            if s.acks_batched == n || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.acks_batched, n, "every sequence must be range-acked");
+        assert!(s.ack_flushes >= 1);
+        assert!(
+            s.ack_flushes < n,
+            "batching must use fewer flushes ({}) than messages ({n})",
+            s.ack_flushes
+        );
+        // No retransmissions: the flush beat the 300 µs retry backoff.
+        assert_eq!(fabric.packets_in_flight(), 0);
+    }
+
+    #[test]
+    fn acks_piggyback_on_reverse_traffic() {
+        // Disable the flush timer (5 s) so the only way the ack can move
+        // is by riding the next reverse-direction data frame.
+        let plan = FaultPlan::seeded(33).with_ack_flush(Duration::from_secs(5));
+        let fabric = Fabric::with_faults(2, Some(plan));
+        let rx0 = fabric.take_receiver(0);
+        let rx1 = fabric.take_receiver(1);
+        fabric.send_am(0, 1, 7, vec![7]).unwrap();
+        assert_eq!(pump(&fabric, &rx1, 1), Some(true));
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.ack_flushes, 0, "timer off: nothing flushed yet");
+        // Reverse traffic carries the pending ack.
+        fabric.send_am(1, 0, 7, vec![8]).unwrap();
+        assert_eq!(pump(&fabric, &rx0, 0), Some(true));
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.acks_piggybacked, 1);
+        assert_eq!(s.acks_batched, 1);
+        assert_eq!(s.ack_flushes, 1);
+        assert_eq!(fabric.packets_in_flight(), 0);
+    }
+
+    #[test]
+    fn immediate_ack_mode_flushes_once_per_message() {
+        // The A/B baseline lever: one flush event per received message,
+        // nothing batched, nothing piggybacked.
+        let plan = FaultPlan::seeded(35).with_immediate_acks();
+        let fabric = Fabric::with_faults(2, Some(plan));
+        let rx1 = fabric.take_receiver(1);
+        let n = 10;
+        for _ in 0..n {
+            fabric.send_am(0, 1, 7, vec![9]).unwrap();
+        }
+        while pump(&fabric, &rx1, 1).is_some() {}
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.ack_flushes, n, "one ack per message in immediate mode");
+        assert_eq!(s.acks_batched, 0);
+        assert_eq!(s.acks_piggybacked, 0);
+        assert_eq!(fabric.packets_in_flight(), 0);
     }
 
     #[test]

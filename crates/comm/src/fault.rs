@@ -113,6 +113,13 @@ pub struct FaultPlan {
     pub kills: Vec<KillScript>,
     /// Retransmission policy for the reliable layer.
     pub retry: RetryPolicy,
+    /// Answer every accepted message with its own immediate ack (the
+    /// pre-batching behavior) instead of accumulating ranged acks. Kept as
+    /// an A/B lever for `bench_wire` and regression comparison.
+    pub immediate_acks: bool,
+    /// How long a pending batched ack may wait for a piggyback ride
+    /// before the progress thread flushes it anyway.
+    pub ack_flush: Duration,
 }
 
 impl FaultPlan {
@@ -128,6 +135,8 @@ impl FaultPlan {
             delay_us: (200, 800),
             kills: Vec::new(),
             retry: RetryPolicy::default(),
+            immediate_acks: false,
+            ack_flush: Duration::from_micros(100),
         }
     }
 
@@ -167,6 +176,19 @@ impl FaultPlan {
     /// Set the retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Revert to one immediate ack per accepted message (disables ack
+    /// batching/piggybacking; the baseline side of `bench_wire`).
+    pub fn with_immediate_acks(mut self) -> Self {
+        self.immediate_acks = true;
+        self
+    }
+
+    /// Set the batched-ack flush timer (ignored under immediate acks).
+    pub fn with_ack_flush(mut self, flush: Duration) -> Self {
+        self.ack_flush = flush;
         self
     }
 
@@ -250,6 +272,15 @@ impl FaultPlan {
                             .map_err(|_| format!("fault spec: bad rto_us `{v}`"))?,
                     )
                 }
+                "acks" => match v {
+                    "immediate" => plan.immediate_acks = true,
+                    "batched" => plan.immediate_acks = false,
+                    other => {
+                        return Err(format!(
+                            "fault spec: acks wants immediate or batched, got `{other}`"
+                        ))
+                    }
+                },
                 other => return Err(format!("fault spec: unknown key `{other}`")),
             }
         }
@@ -340,6 +371,14 @@ mod tests {
         assert!(FaultPlan::parse("banana=1").is_err());
         assert!(FaultPlan::parse("drop").is_err());
         assert!(FaultPlan::parse("kill=3").is_err());
+        assert!(FaultPlan::parse("acks=sometimes").is_err());
+    }
+
+    #[test]
+    fn parse_ack_mode() {
+        assert!(!FaultPlan::parse("seed=1").unwrap().immediate_acks);
+        assert!(FaultPlan::parse("acks=immediate").unwrap().immediate_acks);
+        assert!(!FaultPlan::parse("acks=batched").unwrap().immediate_acks);
     }
 
     #[test]

@@ -27,9 +27,13 @@ pub mod buf;
 pub mod fabric;
 pub mod fault;
 pub mod lockdoc;
-pub mod pool;
 pub mod reliable;
 pub mod wire;
+
+// The wire-buffer pool moved down into `ttg-transport` so the socket mesh
+// can encode frames through it without a dependency cycle; re-exported
+// here unchanged for the existing `ttg_comm::pool` users.
+pub use ttg_transport::pool;
 
 pub use buf::{ReadBuf, WireError, WriteBuf};
 pub use fabric::{

@@ -18,10 +18,17 @@
 //! [`CommError`](crate::CommError) instead of a silent hang. Window sizing
 //! is therefore a liveness/metadata trade-off, not a correctness one — see
 //! `DESIGN.md` §8.
+//!
+//! Acknowledgements are **batched** ([`PendingAcks`], DESIGN §12): the
+//! receiver accumulates accepted seqs into ranges and flushes them
+//! piggybacked on reverse-direction data or on a short timer, so a burst
+//! of messages is answered by one ranged ack instead of one ack each.
+//! `FaultPlan::with_immediate_acks` restores the legacy
+//! one-ack-per-message behavior for A/B measurement.
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Sequence numbers tracked per window: packets more than `WINDOW` behind
 /// the link's high-water mark are classified duplicates unconditionally.
@@ -138,6 +145,93 @@ impl LinkTx {
     pub fn assign_seq(&mut self) -> u64 {
         self.next_seq += 1;
         self.next_seq
+    }
+}
+
+/// Receive-side accumulator of acknowledgements owed on one incoming link.
+///
+/// Instead of answering every accepted message with its own ack, the
+/// receiver notes accepted sequence numbers here, coalescing them into
+/// inclusive `(first, last)` ranges. The fabric flushes the accumulator
+/// as one batched acknowledgement either **piggybacked** — right before
+/// the next data message it sends back to that peer, so the ack rides the
+/// same coalesced socket write — or on a short timer, so an idle receiver
+/// still acks promptly. In-order traffic degenerates to a single
+/// ever-growing range, i.e. a cumulative ack.
+///
+/// Duplicates are re-noted on arrival: if a flush was lost, the sender's
+/// retransmit produces a dedup hit whose re-note re-arms the ack, so the
+/// entry is always cleared eventually (liveness does not depend on any
+/// single flush surviving).
+#[derive(Debug, Default)]
+pub struct PendingAcks {
+    /// Inclusive, sorted, non-overlapping ranges of accepted seqs.
+    ranges: Vec<(u64, u64)>,
+    /// When the oldest currently-pending ack was noted (timer anchor).
+    oldest: Option<Instant>,
+    /// Flush ordinal, used to salt per-flush loss rolls deterministically.
+    flushes: u64,
+}
+
+impl PendingAcks {
+    /// Record that `seq` was accepted (or re-accepted) at `now`.
+    pub fn note(&mut self, seq: u64, now: Instant) {
+        if self.oldest.is_none() {
+            self.oldest = Some(now);
+        }
+        // Binary search for the insertion point, then merge with the
+        // neighbors if adjacent. The common case — in-order delivery —
+        // extends the last range in O(1).
+        match self.ranges.binary_search_by(|&(first, last)| {
+            if seq < first {
+                std::cmp::Ordering::Greater
+            } else if seq > last {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(_) => {} // already covered (duplicate re-note)
+            Err(i) => {
+                let glues_left = i > 0 && self.ranges[i - 1].1 + 1 == seq;
+                let glues_right = i < self.ranges.len() && seq + 1 == self.ranges[i].0;
+                match (glues_left, glues_right) {
+                    (true, true) => {
+                        self.ranges[i - 1].1 = self.ranges[i].1;
+                        self.ranges.remove(i);
+                    }
+                    (true, false) => self.ranges[i - 1].1 = seq,
+                    (false, true) => self.ranges[i].0 = seq,
+                    (false, false) => self.ranges.insert(i, (seq, seq)),
+                }
+            }
+        }
+    }
+
+    /// Whether any acks are pending.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Whether the oldest pending ack has waited at least `flush_after`.
+    pub fn due(&self, now: Instant, flush_after: Duration) -> bool {
+        match self.oldest {
+            Some(t) => now.saturating_duration_since(t) >= flush_after,
+            None => false,
+        }
+    }
+
+    /// Drain the pending ranges for one flush, returning them together
+    /// with the flush ordinal (for deterministic loss salting).
+    pub fn take(&mut self) -> (Vec<(u64, u64)>, u64) {
+        self.oldest = None;
+        self.flushes += 1;
+        (std::mem::take(&mut self.ranges), self.flushes)
+    }
+
+    /// Total sequence numbers covered by the pending ranges.
+    pub fn pending(&self) -> u64 {
+        self.ranges.iter().map(|&(f, l)| l - f + 1).sum()
     }
 }
 
@@ -303,5 +397,62 @@ mod tests {
         assert_eq!(l.assign_seq(), 1);
         assert_eq!(l.assign_seq(), 2);
         assert_eq!(l.assign_seq(), 3);
+    }
+
+    #[test]
+    fn pending_acks_coalesce_in_order_traffic_to_one_range() {
+        let mut p = PendingAcks::default();
+        let now = Instant::now();
+        for s in 1..=100u64 {
+            p.note(s, now);
+        }
+        assert_eq!(p.pending(), 100);
+        let (ranges, flush_no) = p.take();
+        assert_eq!(ranges, vec![(1, 100)]);
+        assert_eq!(flush_no, 1);
+        assert!(p.is_empty());
+        assert_eq!(p.pending(), 0);
+    }
+
+    #[test]
+    fn pending_acks_merge_out_of_order_and_ignore_duplicates() {
+        let mut p = PendingAcks::default();
+        let now = Instant::now();
+        for s in [5u64, 1, 3, 2, 9, 4, 5, 1] {
+            p.note(s, now);
+        }
+        assert_eq!(p.pending(), 6);
+        let (ranges, _) = p.take();
+        // 1..=5 glued from both sides (including the 3 bridging 2 and 4);
+        // 9 stands alone.
+        assert_eq!(ranges, vec![(1, 5), (9, 9)]);
+    }
+
+    #[test]
+    fn pending_acks_due_tracks_oldest_note() {
+        let mut p = PendingAcks::default();
+        let t0 = Instant::now();
+        assert!(!p.due(t0, Duration::from_micros(100)), "empty is never due");
+        p.note(1, t0);
+        assert!(!p.due(t0, Duration::from_micros(100)));
+        assert!(p.due(t0 + Duration::from_micros(100), Duration::from_micros(100)));
+        // A later note does not push the deadline out: oldest anchors it.
+        p.note(2, t0 + Duration::from_micros(90));
+        assert!(p.due(t0 + Duration::from_micros(100), Duration::from_micros(100)));
+        // Take clears the anchor; the next note re-arms it.
+        let _ = p.take();
+        assert!(!p.due(t0 + Duration::from_secs(1), Duration::from_micros(100)));
+        p.note(3, t0 + Duration::from_secs(1));
+        assert!(p.due(t0 + Duration::from_secs(2), Duration::from_micros(100)));
+    }
+
+    #[test]
+    fn pending_acks_flush_ordinal_increments() {
+        let mut p = PendingAcks::default();
+        let now = Instant::now();
+        p.note(1, now);
+        assert_eq!(p.take().1, 1);
+        p.note(2, now);
+        assert_eq!(p.take().1, 2);
     }
 }

@@ -20,7 +20,8 @@ pub const MAGIC: u32 = 0x5747_5454;
 
 /// Wire protocol version; bumped on any incompatible frame-format change.
 /// Peers with mismatched versions refuse the connection at handshake.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// (v2: added the `AckRange` batched-acknowledgement control frame.)
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on the encoded size (kind + body) of a single frame.
 pub const MAX_FRAME: usize = 64 << 20;
@@ -63,6 +64,18 @@ pub enum Frame {
         from: u32,
         /// Sequence number being acknowledged.
         seq: u64,
+    },
+    /// Batched acknowledgement: a set of inclusive sequence-number ranges
+    /// accepted on the link from the receiver back to the original sender.
+    /// One `AckRange` replaces up to a window's worth of per-message
+    /// [`Frame::Ack`]s; the reliable layer flushes one either piggybacked
+    /// right before the next data frame to that peer or on a short timer.
+    AckRange {
+        /// Rank acknowledging (the AMs' destination).
+        from: u32,
+        /// Inclusive `(first, last)` sequence ranges, sorted ascending and
+        /// non-overlapping.
+        ranges: Vec<(u64, u64)>,
     },
     /// One-sided fetch request for region `region` owned by the receiver.
     RmaReq {
@@ -145,6 +158,9 @@ pub const WIRE_KINDS: &[KindSpec] = &[
     // is conditional on that layer, so no response is *required*.
     ("Am", false, true, None),
     ("Ack", true, true, None),
+    // AckRange identifies its acked sends by (first, last) seq ranges; the
+    // `has_seq` bit covers that ranged form.
+    ("AckRange", true, true, None),
     ("RmaReq", false, true, Some("RmaResp")),
     ("RmaResp", false, true, None),
     ("BarrierEnter", false, true, Some("BarrierRelease")),
@@ -195,6 +211,7 @@ const K_TERM_PROBE: u8 = 7;
 const K_TERM_REPLY: u8 = 8;
 const K_TERM_DONE: u8 = 9;
 const K_BYE: u8 = 10;
+const K_ACK_RANGE: u8 = 11;
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -241,6 +258,15 @@ impl Frame {
                 out.push(K_ACK);
                 put_u32(out, *from);
                 put_u64(out, *seq);
+            }
+            Frame::AckRange { from, ranges } => {
+                out.push(K_ACK_RANGE);
+                put_u32(out, *from);
+                put_u32(out, ranges.len() as u32);
+                for (first, last) in ranges {
+                    put_u64(out, *first);
+                    put_u64(out, *last);
+                }
             }
             Frame::RmaReq { from, req, region } => {
                 out.push(K_RMA_REQ);
@@ -342,6 +368,16 @@ impl<'a> Cur<'a> {
         self.at = self.b.len();
         s
     }
+    /// Like [`rest`](Self::rest) but backed by the wire-buffer pool: AM
+    /// payloads are the hot decode path and the executor recycles them
+    /// after handler dispatch, closing the acquire/recycle loop.
+    fn rest_pooled(&mut self) -> Vec<u8> {
+        let tail = &self.b[self.at..];
+        self.at = self.b.len();
+        let mut s = crate::pool::acquire(tail.len());
+        s.extend_from_slice(tail);
+        s
+    }
 }
 
 fn decode_body(kind: u8, body: &[u8]) -> Result<Frame, FrameError> {
@@ -357,12 +393,39 @@ fn decode_body(kind: u8, body: &[u8]) -> Result<Frame, FrameError> {
             from: c.u32()?,
             handler: c.u32()?,
             seq: c.u64()?,
-            payload: c.rest(),
+            payload: c.rest_pooled(),
         },
         K_ACK => Frame::Ack {
             from: c.u32()?,
             seq: c.u64()?,
         },
+        K_ACK_RANGE => {
+            let from = c.u32()?;
+            let count = c.u32()? as usize;
+            // The count must match the body exactly: a mismatch means a
+            // corrupted frame, and trusting a hostile count would let a
+            // 12-byte frame demand a multi-gigabyte allocation.
+            if c.b.len() - c.at != count * 16 {
+                return Err(FrameError::Malformed {
+                    detail: format!(
+                        "AckRange count {count} disagrees with {} body bytes",
+                        c.b.len() - c.at
+                    ),
+                });
+            }
+            let mut ranges = Vec::with_capacity(count);
+            for _ in 0..count {
+                let first = c.u64()?;
+                let last = c.u64()?;
+                if first > last {
+                    return Err(FrameError::Malformed {
+                        detail: format!("AckRange pair {first}..{last} is inverted"),
+                    });
+                }
+                ranges.push((first, last));
+            }
+            Frame::AckRange { from, ranges }
+        }
         K_RMA_REQ => Frame::RmaReq {
             from: c.u32()?,
             req: c.u64()?,
@@ -447,15 +510,7 @@ impl FrameCodec {
         if avail < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap()) as usize;
-        if len == 0 {
-            return Err(FrameError::Malformed {
-                detail: "zero-length frame (missing kind byte)".into(),
-            });
-        }
-        if len > MAX_FRAME {
-            return Err(FrameError::TooLarge { len });
-        }
+        let len = frame_len(&self.buf[self.pos..self.pos + 4])?;
         if avail < 4 + len {
             return Ok(None);
         }
@@ -465,6 +520,80 @@ impl FrameCodec {
         self.pos += 4 + len;
         Ok(Some(frame))
     }
+
+    /// Decode every complete frame in `bytes` straight from the caller's
+    /// read buffer, calling `out` per frame. Only a trailing partial
+    /// frame is copied into internal storage (completed by the next
+    /// call), so the bulk receive path pays zero buffer-to-buffer copies
+    /// — unlike [`push`](Self::push) + [`next`](Self::next), which stage
+    /// every byte through the internal buffer first. The two styles
+    /// compose: `feed` first finishes whatever `push` left behind.
+    ///
+    /// An error poisons the stream exactly like [`next`](Self::next).
+    pub fn feed<F: FnMut(Frame)>(
+        &mut self,
+        mut bytes: &[u8],
+        out: &mut F,
+    ) -> Result<(), FrameError> {
+        // Finish the partial frame carried over from the previous read,
+        // copying in only the bytes it still needs.
+        while self.buf.len() > self.pos {
+            let avail = self.buf.len() - self.pos;
+            let need = if avail < 4 {
+                4 - avail
+            } else {
+                let len = frame_len(&self.buf[self.pos..self.pos + 4])?;
+                (4 + len).saturating_sub(avail)
+            };
+            if need == 0 {
+                let frame = self.next()?.expect("frame is complete");
+                out(frame);
+                if self.pos == self.buf.len() {
+                    self.buf.clear();
+                    self.pos = 0;
+                }
+                continue;
+            }
+            if bytes.len() < need {
+                self.buf.extend_from_slice(bytes);
+                return Ok(());
+            }
+            self.buf.extend_from_slice(&bytes[..need]);
+            bytes = &bytes[need..];
+        }
+        // Direct parse over the input; stash only the tail.
+        let mut pos = 0;
+        loop {
+            let avail = bytes.len() - pos;
+            if avail < 4 {
+                break;
+            }
+            let len = frame_len(&bytes[pos..pos + 4])?;
+            if avail < 4 + len {
+                break;
+            }
+            out(decode_body(bytes[pos + 4], &bytes[pos + 5..pos + 4 + len])?);
+            pos += 4 + len;
+        }
+        if pos < bytes.len() {
+            self.buf.extend_from_slice(&bytes[pos..]);
+        }
+        Ok(())
+    }
+}
+
+/// Validate a length prefix (4 LE bytes) and return the frame length.
+fn frame_len(hdr: &[u8]) -> Result<usize, FrameError> {
+    let len = u32::from_le_bytes(hdr[..4].try_into().unwrap()) as usize;
+    if len == 0 {
+        return Err(FrameError::Malformed {
+            detail: "zero-length frame (missing kind byte)".into(),
+        });
+    }
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge { len });
+    }
+    Ok(len)
 }
 
 #[cfg(test)]
@@ -495,6 +624,14 @@ mod tests {
                 payload: vec![1, 2, 3, 4, 5],
             },
             Frame::Ack { from: 2, seq: 12 },
+            Frame::AckRange {
+                from: 2,
+                ranges: vec![(1, 64), (70, 70), (80, 1024)],
+            },
+            Frame::AckRange {
+                from: 0,
+                ranges: Vec::new(),
+            },
             Frame::RmaReq {
                 from: 0,
                 req: 5,
@@ -579,6 +716,64 @@ mod tests {
     }
 
     #[test]
+    fn feed_decodes_across_arbitrary_chunk_boundaries() {
+        // The zero-copy feed path must behave exactly like push+next no
+        // matter where the read boundaries fall: stream three frames in
+        // chunks of every size from 1 byte up past the total.
+        let frames = [
+            Frame::Am {
+                from: 1,
+                handler: 9,
+                seq: 5,
+                payload: (0..200u16).map(|i| (i % 251) as u8).collect(),
+            },
+            Frame::AckRange {
+                from: 2,
+                ranges: vec![(1, 9), (20, 20)],
+            },
+            Frame::Ack { from: 0, seq: 3 },
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            f.encode(&mut bytes);
+        }
+        for chunk in 1..=bytes.len() {
+            let mut c = FrameCodec::new();
+            let mut got = Vec::new();
+            for part in bytes.chunks(chunk) {
+                c.feed(part, &mut |f| got.push(f)).unwrap();
+            }
+            assert_eq!(got, frames, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn feed_composes_with_push_leftovers() {
+        // Bytes staged via push (the handshake path) must be finished by
+        // a later feed before it parses its own input directly.
+        let a = Frame::TermProbe { round: 8 };
+        let b = Frame::Bye { from: 1 };
+        let mut bytes = a.encode_vec();
+        b.encode(&mut bytes);
+        let mut c = FrameCodec::new();
+        c.push(&bytes[..5]); // header of `a` plus one body byte
+        let mut got = Vec::new();
+        c.feed(&bytes[5..], &mut |f| got.push(f)).unwrap();
+        assert_eq!(got, vec![a, b]);
+    }
+
+    #[test]
+    fn feed_poisons_on_garbage_like_next() {
+        let mut c = FrameCodec::new();
+        let mut bytes = Frame::Ack { from: 0, seq: 1 }.encode_vec();
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // zero-length frame
+        let mut got = Vec::new();
+        let err = c.feed(&bytes, &mut |f| got.push(f));
+        assert!(matches!(err, Err(FrameError::Malformed { .. })));
+        assert_eq!(got.len(), 1, "frames before the poison still decode");
+    }
+
+    #[test]
     fn zero_length_payload_is_a_valid_am() {
         let f = Frame::Am {
             from: 2,
@@ -614,6 +809,35 @@ mod tests {
         bytes.extend_from_slice(&3u32.to_le_bytes()); // kind + 2 body bytes
         bytes.push(K_ACK);
         bytes.extend_from_slice(&[0, 0]); // Ack wants 4 + 8 bytes
+        let mut c = FrameCodec::new();
+        c.push(&bytes);
+        assert!(matches!(c.next(), Err(FrameError::Malformed { .. })));
+    }
+
+    #[test]
+    fn ack_range_with_lying_count_is_malformed() {
+        // Body carries one pair but the count field claims 2^28: the
+        // decoder must reject the mismatch without allocating for it.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(1 + 4 + 4 + 16u32).to_le_bytes());
+        bytes.push(11); // K_ACK_RANGE
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // from
+        bytes.extend_from_slice(&(1u32 << 28).to_le_bytes()); // count
+        bytes.extend_from_slice(&[0u8; 16]); // one pair
+        let mut c = FrameCodec::new();
+        c.push(&bytes);
+        assert!(matches!(c.next(), Err(FrameError::Malformed { .. })));
+    }
+
+    #[test]
+    fn ack_range_with_inverted_pair_is_malformed() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(1 + 4 + 4 + 16u32).to_le_bytes());
+        bytes.push(11); // K_ACK_RANGE
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // from
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // count
+        bytes.extend_from_slice(&9u64.to_le_bytes()); // first
+        bytes.extend_from_slice(&3u64.to_le_bytes()); // last < first
         let mut c = FrameCodec::new();
         c.push(&bytes);
         assert!(matches!(c.next(), Err(FrameError::Malformed { .. })));

@@ -26,6 +26,7 @@ pub mod frame;
 pub mod inproc;
 pub mod link;
 pub mod lockdoc;
+pub mod pool;
 pub mod socket;
 
 use std::sync::Arc;
@@ -34,6 +35,7 @@ use ttg_telemetry::Registry;
 
 pub use frame::{Frame, FrameCodec, FrameError, MAX_FRAME, PROTOCOL_VERSION};
 pub use link::{Endpoint, Link, Rank, Sink, TransportError, TransportKind, TransportMetrics};
+pub use pool::{pool_stats, PoolStats};
 pub use socket::{local_mesh, remote_endpoint, AddrSpec, SocketEndpoint};
 
 /// Which link layer an execution should run on, carried by

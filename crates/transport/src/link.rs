@@ -183,6 +183,16 @@ pub struct TransportMetrics {
     pub reconnects: Counter,
     /// Handshakes refused (magic/version/rank mismatch).
     pub handshake_failures: Counter,
+    /// Write syscalls issued by writer threads (one per gathered batch).
+    pub tx_writes: Counter,
+    /// Frames that rode an already-scheduled write instead of paying for
+    /// their own syscall: each write of a k-frame batch adds `k - 1`.
+    /// Frames-per-write = `(tx_writes + tx_frames_coalesced) / tx_writes`.
+    pub tx_frames_coalesced: Counter,
+    /// Frames dropped by a writer after its reconnect retry also failed.
+    /// The reliable layer (when active) retransmits the loss; without it
+    /// this counter is the only record.
+    pub tx_frames_abandoned: Counter,
     /// Per-peer send-queue high-water marks (frames) **for the current
     /// connection**: reset on every (re)establishment so a post-reconnect
     /// reading describes the live connection, not the dead one's peak.
@@ -203,6 +213,9 @@ impl TransportMetrics {
             connects: c("connects"),
             reconnects: c("reconnects"),
             handshake_failures: c("handshake_failures"),
+            tx_writes: c("tx_writes"),
+            tx_frames_coalesced: c("tx_frames_coalesced"),
+            tx_frames_abandoned: c("tx_frames_abandoned"),
             queue_hwm: (0..n)
                 .map(|r| reg.gauge(MetricKey::ranked(r, "transport", "send_queue_hwm")))
                 .collect(),

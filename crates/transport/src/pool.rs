@@ -7,15 +7,34 @@
 //! thread, so the common pattern — comm thread recycles what worker threads
 //! acquired — degenerates to near-uncontended stack pushes/pops.
 //!
+//! The pool lives in `ttg-transport` (it started in `ttg-comm`, which
+//! re-exports it unchanged) so both layers share one free-list: the comm
+//! fabric's AM payload buffers and the socket mesh's frame-encode buffers
+//! (`SocketLink::send` acquires, the writer thread recycles after the
+//! gathered write) are the same population of allocations.
+//!
 //! The pool is deliberately bounded: buffers above [`MAX_POOLED_CAP`] are
 //! dropped rather than cached (a single giant splitmd payload must not pin
 //! a megabyte per shard forever), and each shard holds at most
 //! [`SHARD_DEPTH`] buffers. Hit/miss/recycled/dropped counters are exposed
 //! through [`pool_stats`] for the benchmark reports.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
+
+/// Process-wide kill switch. Off means `acquire` always allocates fresh and
+/// `recycle` drops — the pre-pool allocation behavior, kept as an A/B lever
+/// for `bench_wire` baselines.
+static POOLING: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable the free-list globally. Disabling makes `acquire`
+/// allocate fresh and `recycle` drop, reproducing the pre-pool wire path;
+/// buffers already in the free-list stay put until re-enabled. Intended for
+/// benchmarks, not production toggling.
+pub fn set_pooling(enabled: bool) {
+    POOLING.store(enabled, Ordering::SeqCst);
+}
 
 /// Number of independent free-lists; threads hash onto one at first use.
 const SHARDS: usize = 8;
@@ -27,6 +46,13 @@ const SHARD_DEPTH: usize = 64;
 /// pooled, bounding resident memory at `SHARDS * SHARD_DEPTH * 1 MiB` worst
 /// case (reached only if every pooled buffer grew to the cap).
 const MAX_POOLED_CAP: usize = 1 << 20;
+
+/// Requests below this size skip the pool entirely (fresh alloc on
+/// acquire, drop on recycle): a small allocation is served from the
+/// allocator's thread-local bins for less than the pool's own
+/// bookkeeping costs, and caching tiny buffers would evict useful large
+/// ones from the bounded shards.
+const MIN_POOLED_CAP: usize = 1024;
 
 #[derive(Default)]
 struct Shard {
@@ -76,8 +102,17 @@ static POOL: Pool = Pool {
 
 static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
 
+/// Buffers retained per thread before spilling to the shared shards. The
+/// magazine makes the common same-thread acquire→recycle cycle (sender
+/// reuses its own retired payload buffer) a plain TLS vector op with no
+/// lock at all — at small message sizes two mutex round-trips per message
+/// would cost more than the allocations the pool avoids.
+const LOCAL_DEPTH: usize = 8;
+
 thread_local! {
     static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    static LOCAL: std::cell::RefCell<Vec<Vec<u8>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 #[inline]
@@ -90,17 +125,44 @@ fn my_shard() -> usize {
 /// producers (workers) and recyclers (comm threads) are usually different
 /// threads — falling back to a fresh allocation on pool miss.
 pub fn acquire(cap: usize) -> Vec<u8> {
-    let home = my_shard();
-    let mut found = POOL.shards[home].free.lock().pop();
+    if !POOLING.load(Ordering::Relaxed) {
+        return Vec::with_capacity(cap);
+    }
+    if cap < MIN_POOLED_CAP {
+        POOL.misses.fetch_add(1, Ordering::Relaxed);
+        return Vec::with_capacity(cap);
+    }
+    let mut found = LOCAL.with(|l| l.borrow_mut().pop());
     if found.is_none() {
-        for i in 1..SHARDS {
+        // Refill the whole magazine while the shard lock is held: a
+        // thread that only ever acquires (a reader thread, whose buffers
+        // are recycled by whichever thread drains its channel) would
+        // otherwise pay this shard scan on every message instead of once
+        // per LOCAL_DEPTH.
+        let home = my_shard();
+        for i in 0..SHARDS {
             let s = &POOL.shards[(home + i) % SHARDS];
-            // try_lock: never stall the hot path on a contended sibling.
-            if let Some(mut free) = s.free.try_lock() {
-                if let Some(buf) = free.pop() {
-                    found = Some(buf);
-                    break;
+            // try_lock beyond home: never stall on a contended sibling.
+            let mut free = if i == 0 {
+                s.free.lock()
+            } else {
+                match s.free.try_lock() {
+                    Some(f) => f,
+                    None => continue,
                 }
+            };
+            if let Some(buf) = free.pop() {
+                LOCAL.with(|l| {
+                    let mut local = l.borrow_mut();
+                    while local.len() < LOCAL_DEPTH {
+                        match free.pop() {
+                            Some(b) => local.push(b),
+                            None => break,
+                        }
+                    }
+                });
+                found = Some(buf);
+                break;
             }
         }
     }
@@ -119,11 +181,33 @@ pub fn acquire(cap: usize) -> Vec<u8> {
 /// buffers are dropped, and overflow past the home shard's depth spills to
 /// the first sibling with room (dropped only when the whole pool is full).
 pub fn recycle(mut buf: Vec<u8>) {
-    if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_CAP {
+    if !POOLING.load(Ordering::Relaxed) {
+        return;
+    }
+    if buf.capacity() < MIN_POOLED_CAP || buf.capacity() > MAX_POOLED_CAP {
         POOL.dropped.fetch_add(1, Ordering::Relaxed);
         return;
     }
     buf.clear();
+    let spill = LOCAL.with(|l| {
+        let mut local = l.borrow_mut();
+        if local.len() < LOCAL_DEPTH {
+            local.push(std::mem::take(&mut buf));
+            None
+        } else {
+            // Magazine full: spill half of it plus the new buffer in one
+            // shard visit, so a pure producer (a thread that recycles
+            // more than it acquires) pays one lock per LOCAL_DEPTH/2
+            // messages instead of one per message.
+            let mut batch: Vec<Vec<u8>> = local.drain(LOCAL_DEPTH / 2..).collect();
+            batch.push(std::mem::take(&mut buf));
+            Some(batch)
+        }
+    });
+    let Some(mut batch) = spill else {
+        POOL.recycled.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
     let home = my_shard();
     for i in 0..SHARDS {
         let s = &POOL.shards[(home + i) % SHARDS];
@@ -135,13 +219,18 @@ pub fn recycle(mut buf: Vec<u8>) {
                 None => continue,
             }
         };
-        if free.len() < SHARD_DEPTH {
-            free.push(buf);
-            POOL.recycled.fetch_add(1, Ordering::Relaxed);
-            return;
+        while free.len() < SHARD_DEPTH {
+            match batch.pop() {
+                Some(b) => {
+                    free.push(b);
+                    POOL.recycled.fetch_add(1, Ordering::Relaxed);
+                }
+                None => return,
+            }
         }
     }
-    POOL.dropped.fetch_add(1, Ordering::Relaxed);
+    POOL.dropped
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
 }
 
 /// Point-in-time counters of the process-wide wire-buffer pool.
@@ -198,16 +287,29 @@ mod tests {
     #[test]
     fn acquire_recycle_roundtrip() {
         let before = pool_stats();
-        let mut buf = acquire(256);
-        assert!(buf.capacity() >= 256);
+        let mut buf = acquire(2 * MIN_POOLED_CAP);
+        assert!(buf.capacity() >= 2 * MIN_POOLED_CAP);
         buf.extend_from_slice(&[1, 2, 3]);
         recycle(buf);
-        let again = acquire(16);
+        let again = acquire(MIN_POOLED_CAP);
         // The recycled buffer must come back cleared.
         assert!(again.is_empty());
         let after = pool_stats();
         assert!(after.recycled > before.recycled);
         assert!(after.hits + after.misses >= before.hits + before.misses + 2);
+    }
+
+    #[test]
+    fn tiny_buffers_bypass_the_pool() {
+        let before = pool_stats();
+        // Below MIN_POOLED_CAP: acquire allocates fresh (counted as a
+        // miss), recycle drops instead of caching.
+        let buf = acquire(MIN_POOLED_CAP / 4);
+        assert!(buf.capacity() < MIN_POOLED_CAP);
+        recycle(buf);
+        let after = pool_stats();
+        assert!(after.misses > before.misses);
+        assert!(after.dropped > before.dropped);
     }
 
     #[test]

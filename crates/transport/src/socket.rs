@@ -16,6 +16,17 @@
 //! one redial (counted in `reconnects`), and the accepting side keeps its
 //! listener open for the endpoint's lifetime so a redialed peer is
 //! re-admitted.
+//!
+//! The writer is a **coalescing** drain (DESIGN §12): each wakeup takes
+//! every frame already queued — up to [`COALESCE_BUDGET`] bytes — gathers
+//! the batch into one contiguous buffer, and issues a single `write_all`
+//! syscall, so a burst of small frames pays for one syscall instead of one
+//! each. Frame buffers come from and return to the shared wire-buffer pool
+//! ([`crate::pool`]): `Link::send` acquires and encodes, the writer
+//! recycles after the gathered write. The `tx_writes` /
+//! `tx_frames_coalesced` counters make the frames-per-write ratio
+//! observable; `TTG_WIRE_COALESCE_BUDGET` (bytes, `0` = one frame per
+//! write) overrides the budget for A/B benchmarking.
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -43,6 +54,16 @@ const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(60);
 /// How long a writer waits for the accept loop to replace a broken
 /// connection before abandoning the frame.
 const REPLACE_WAIT: Duration = Duration::from_secs(3);
+/// Default cap on the bytes one writer wakeup gathers into a single
+/// syscall. Big enough that a burst of small AMs becomes one write, small
+/// enough that a batch never approaches the frame size cap or starves the
+/// stream of progress reporting. Overridden by `TTG_WIRE_COALESCE_BUDGET`.
+pub const COALESCE_BUDGET: usize = 256 * 1024;
+/// Backstop timeout for a writer parked on `stream_cv` while its stream is
+/// down. Reconnection (`install_stream`) and shutdown both notify the
+/// condvar, so the writer wakes immediately in the normal case; the
+/// timeout only bounds the window of a notify racing the park itself.
+const WRITER_WAKE_BACKSTOP: Duration = Duration::from_millis(500);
 
 // ---------------------------------------------------------------- streams
 
@@ -170,71 +191,197 @@ impl Listener {
 
 // ------------------------------------------------------- bounded send queue
 
-/// Bounded MPSC byte-buffer queue (the crossbeam shim offers only
-/// unbounded channels, so backpressure is implemented here directly).
+/// Bounded MPSC wire-byte queue (the crossbeam shim offers only unbounded
+/// channels, so backpressure is implemented here directly).
+///
+/// Frames are encoded straight into one shared byte buffer at push time —
+/// there is no per-frame `Vec`, no free-list traffic, and no gather-copy
+/// on the writer side in the common case: when the writer drains the whole
+/// backlog (budget permitting) the full buffer is handed over by pointer
+/// swap and the writer's previous (now empty, capacity-retaining) buffer
+/// becomes the new accumulation buffer. Only a budget-limited partial
+/// drain copies bytes.
 struct SendQ {
     state: Mutex<QState>,
     not_full: Condvar,
     not_empty: Condvar,
     cap: usize,
+    /// Baseline-fidelity mode, engaged when the coalesce budget is 0
+    /// (`TTG_WIRE_COALESCE_BUDGET=0`): frames are queued as one freshly
+    /// allocated `Vec` each and drained one per write, byte-for-byte the
+    /// pre-batching writer. Exists so `bench_wire`'s A/B baseline
+    /// measures the wire path as it was, not a half-upgraded hybrid.
+    legacy: bool,
 }
 
+/// Drained-prefix size that triggers folding the live tail of the queue
+/// buffer back to offset 0 (see `pop_batch`).
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
 struct QState {
+    /// Encoded frames back to back; bytes before `start` are already
+    /// drained (left in place until the queue empties, avoiding memmove).
+    buf: Vec<u8>,
+    /// Absolute end offset in `buf` of each queued frame.
+    ends: VecDeque<usize>,
+    start: usize,
+    /// Legacy-mode queue: one freshly allocated `Vec` per frame, exactly
+    /// the pre-batching wire path (see `SendQ::legacy`).
     items: VecDeque<Vec<u8>>,
     closed: bool,
 }
 
+impl QState {
+    fn depth(&self) -> usize {
+        self.ends.len() + self.items.len()
+    }
+
+    fn is_drained(&self) -> bool {
+        self.ends.is_empty() && self.items.is_empty()
+    }
+}
+
 impl SendQ {
-    fn new(cap: usize) -> SendQ {
+    fn new(cap: usize, legacy: bool) -> SendQ {
         SendQ {
             state: Mutex::new(QState {
+                // Seeded from the shared wire-buffer pool; the writer's
+                // swap partner is pooled too, so steady-state traffic
+                // runs entirely on recycled allocations.
+                buf: crate::pool::acquire(4096),
+                ends: VecDeque::new(),
+                start: 0,
                 items: VecDeque::new(),
                 closed: false,
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             cap,
+            legacy,
         }
     }
 
-    /// Blocking bounded push; returns the queue depth after insertion or
-    /// an error if the queue is closed.
-    fn push(&self, item: Vec<u8>) -> Result<usize, ()> {
+    /// Blocking bounded push: encodes `frame` in place at the buffer tail
+    /// (legacy mode: into a fresh per-frame `Vec`, the pre-batching
+    /// allocation pattern). Returns the queue depth (in frames) after
+    /// insertion, or an error if the queue is closed.
+    fn push_frame(&self, frame: &Frame) -> Result<usize, ()> {
         let mut st = self.state.lock();
-        while st.items.len() >= self.cap && !st.closed {
+        while st.depth() >= self.cap && !st.closed {
             self.not_full.wait(&mut st);
         }
         if st.closed {
             return Err(());
         }
-        st.items.push_back(item);
-        let depth = st.items.len();
+        if self.legacy {
+            let bytes = frame.encode_vec();
+            st.items.push_back(bytes);
+        } else {
+            frame.encode(&mut st.buf);
+            let end = st.buf.len();
+            st.ends.push_back(end);
+        }
+        let depth = st.depth();
         self.not_empty.notify_one();
         Ok(depth)
     }
 
-    /// Blocking pop; `None` once the queue is closed *and* drained.
-    fn pop(&self) -> Option<Vec<u8>> {
+    /// Blocking batch pop: waits for at least one frame, then drains
+    /// whatever else is already queued while the batch stays under
+    /// `budget` bytes (the last frame may overshoot it — the bound is
+    /// "stop adding once past the budget", not a hard byte cap, so a
+    /// single frame larger than the budget still drains alone).
+    /// `budget == 0` degenerates to one frame per call. Appends the wire
+    /// bytes to `out` and returns the number of frames taken; `0` means
+    /// the queue is closed *and* drained.
+    fn pop_batch(&self, budget: usize, out: &mut Vec<u8>) -> usize {
         let mut st = self.state.lock();
         loop {
             if let Some(item) = st.items.pop_front() {
+                // Legacy mode: one frame per write, like the pre-batching
+                // writer popped it.
+                out.extend_from_slice(&item);
                 self.not_full.notify_one();
-                return Some(item);
+                return 1;
+            }
+            if !st.ends.is_empty() {
+                let base = st.start;
+                let taken;
+                if base == 0 && out.is_empty() && budget != 0 {
+                    // Whole-backlog handover: swap the built buffer out
+                    // wholesale; the caller's cleared buffer becomes the
+                    // new accumulator, so no bytes are copied regardless
+                    // of backlog depth. The batch self-sizes to whatever
+                    // accumulated during the caller's previous write; the
+                    // budget bounds only the copy path below, which never
+                    // beats a swap.
+                    taken = st.ends.len();
+                    st.ends.clear();
+                    std::mem::swap(&mut st.buf, out);
+                } else {
+                    let mut n = 0usize;
+                    let mut last_end = base;
+                    while let Some(&end) = st.ends.front() {
+                        if n > 0 && last_end - base >= budget.max(1) {
+                            break;
+                        }
+                        st.ends.pop_front();
+                        last_end = end;
+                        n += 1;
+                        if budget == 0 {
+                            break;
+                        }
+                    }
+                    taken = n;
+                    out.extend_from_slice(&st.buf[base..last_end]);
+                    st.start = last_end;
+                    if st.ends.is_empty() {
+                        st.buf.clear();
+                        st.start = 0;
+                    } else if st.start >= COMPACT_THRESHOLD && st.start >= st.buf.len() - st.start {
+                        // A sustained partial drain eats the front while
+                        // the tail keeps growing; fold the live bytes back
+                        // to offset 0 once the drained prefix outweighs
+                        // them (amortized O(1) per byte) so the buffer is
+                        // bounded by ~2× backlog, not by total traffic.
+                        let start = st.start;
+                        let live = st.buf.len() - start;
+                        st.buf.copy_within(start.., 0);
+                        st.buf.truncate(live);
+                        for e in st.ends.iter_mut() {
+                            *e -= start;
+                        }
+                        st.start = 0;
+                    }
+                }
+                if taken > 1 {
+                    self.not_full.notify_all();
+                } else {
+                    self.not_full.notify_one();
+                }
+                return taken;
             }
             if st.closed {
-                return None;
+                return 0;
             }
             self.not_empty.wait(&mut st);
         }
     }
 
-    /// Append a final item (ignoring the cap) and close the queue: pending
-    /// items still drain, further pushes fail.
-    fn close_with(&self, item: Option<Vec<u8>>) {
+    /// Append a final frame (ignoring the cap) and close the queue:
+    /// pending frames still drain, further pushes fail.
+    fn close_with(&self, frame: Option<&Frame>) {
         let mut st = self.state.lock();
-        if let Some(i) = item {
+        if let Some(f) = frame {
             if !st.closed {
-                st.items.push_back(i);
+                if self.legacy {
+                    let bytes = f.encode_vec();
+                    st.items.push_back(bytes);
+                } else {
+                    f.encode(&mut st.buf);
+                    let end = st.buf.len();
+                    st.ends.push_back(end);
+                }
             }
         }
         st.closed = true;
@@ -271,6 +418,8 @@ struct Inner {
     sink: OnceLock<Sink>,
     stop: AtomicBool,
     metrics: TransportMetrics,
+    /// Per-wakeup writer gather budget in bytes (0 = no coalescing).
+    coalesce_budget: usize,
     /// Number of peers with an established connection (first generations
     /// only), guarded for rendezvous waiting.
     ready: Mutex<usize>,
@@ -359,33 +508,36 @@ impl Inner {
         let Some(sink) = self.sink_wait() else { return };
         let slot = self.conns[peer].as_ref().expect("conn slot");
         let mut buf = vec![0u8; 64 * 1024];
-        // Drain-then-read: the first iteration flushes any frames that rode
-        // in behind the peer's Hello during the handshake before the socket
-        // is touched again.
+        // Frames that rode in behind the peer's Hello during the handshake
+        // sit staged in the codec; an empty feed drains them before the
+        // socket is touched again. Steady state decodes straight from the
+        // read buffer (only partial tails are staged).
+        let bye = std::cell::Cell::new(false);
+        let mut deliver = |frame: Frame| match frame {
+            Frame::Bye { .. } => bye.set(true),
+            // Handshakes happen before install; a late Hello is harmless
+            // chatter.
+            Frame::Hello { .. } => {}
+            frame => sink(peer, Ok(frame)),
+        };
+        let mut fed = codec.feed(&[], &mut deliver);
         loop {
-            loop {
-                match codec.next() {
-                    Ok(None) => break,
-                    Ok(Some(Frame::Bye { .. })) => {
-                        slot.orderly.store(true, Ordering::SeqCst);
-                        return;
-                    }
-                    Ok(Some(Frame::Hello { .. })) => {
-                        // Handshakes happen before install; a late
-                        // Hello is harmless chatter.
-                    }
-                    Ok(Some(frame)) => sink(peer, Ok(frame)),
-                    Err(e) => {
-                        sink(
+            match fed {
+                Err(e) => {
+                    sink(
+                        peer,
+                        Err(TransportError::Framing {
                             peer,
-                            Err(TransportError::Framing {
-                                peer,
-                                detail: e.to_string(),
-                            }),
-                        );
-                        return;
-                    }
+                            detail: e.to_string(),
+                        }),
+                    );
+                    return;
                 }
+                Ok(()) if bye.get() => {
+                    slot.orderly.store(true, Ordering::SeqCst);
+                    return;
+                }
+                Ok(()) => {}
             }
             match stream.read(&mut buf) {
                 Ok(0) => {
@@ -405,7 +557,21 @@ impl Inner {
                 }
                 Ok(k) => {
                     self.metrics.rx_bytes.add(k as u64);
-                    codec.push(&buf[..k]);
+                    fed = if self.coalesce_budget == 0 {
+                        // Legacy rx path (TTG_WIRE_COALESCE_BUDGET=0): stage
+                        // every byte, then parse-and-drain, as before the
+                        // zero-copy feed existed. Keeps A/B baselines honest.
+                        codec.push(&buf[..k]);
+                        loop {
+                            match codec.next() {
+                                Ok(Some(frame)) => deliver(frame),
+                                Ok(None) => break Ok(()),
+                                Err(e) => break Err(e),
+                            }
+                        }
+                    } else {
+                        codec.feed(&buf[..k], &mut deliver)
+                    };
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => {
@@ -429,22 +595,41 @@ impl Inner {
 
     fn writer_loop(self: Arc<Self>, peer: Rank) {
         let slot = self.conns[peer].as_ref().expect("conn slot");
-        'items: while let Some(item) = slot.q.pop() {
+        // Reused across wakeups and ping-ponged with the queue's
+        // accumulation buffer: a whole-backlog drain swaps buffers instead
+        // of copying, so the frames' bytes travel encode → syscall with no
+        // intermediate memcpy. (Gather over `write_vectored`: at
+        // ≤ COALESCE_BUDGET bytes a partial-drain copy is noise next to
+        // the syscalls it batches, and `write_all` has none of the
+        // partial-vectored-write bookkeeping.)
+        let mut wire: Vec<u8> = crate::pool::acquire(4096);
+        'batches: loop {
+            wire.clear();
+            let frames = slot.q.pop_batch(self.coalesce_budget, &mut wire);
+            if frames == 0 {
+                crate::pool::recycle(wire);
+                return; // queue closed and drained
+            }
+            let mut abandon_detail: Option<String> = None;
             for attempt in 0..2 {
                 // Wait for an established stream (rendezvous may still be
                 // in progress when the first frames are queued).
                 let mut guard = slot.stream.lock();
                 while guard.is_none() && !self.stop.load(Ordering::SeqCst) {
-                    slot.stream_cv
-                        .wait_for(&mut guard, Duration::from_millis(50));
+                    slot.stream_cv.wait_for(&mut guard, WRITER_WAKE_BACKSTOP);
                 }
                 let Some(stream) = guard.as_mut() else {
                     return; // stopping with no connection: discard
                 };
-                match stream.write_all(&item) {
+                match stream.write_all(&wire) {
                     Ok(()) => {
-                        self.metrics.tx_bytes.add(item.len() as u64);
-                        continue 'items;
+                        self.metrics.tx_bytes.add(wire.len() as u64);
+                        self.metrics.tx_writes.inc();
+                        if frames > 1 {
+                            self.metrics.tx_frames_coalesced.add(frames as u64 - 1);
+                        }
+                        drop(guard);
+                        continue 'batches;
                     }
                     Err(e) => {
                         if self.stop.load(Ordering::SeqCst) || slot.orderly.load(Ordering::SeqCst) {
@@ -456,18 +641,25 @@ impl Inner {
                         }
                         drop(guard);
                         if attempt == 0 && self.recover(peer) {
-                            continue; // retry the same frame once
+                            // Retry the whole batch once on the replaced
+                            // connection. The write may have landed
+                            // partially before failing; the reconnect
+                            // resets both peers' codecs, and duplicated
+                            // frames are the reliable layer's problem —
+                            // the same contract as the pre-batching
+                            // single-frame retry.
+                            continue;
                         }
-                        self.emit(
-                            peer,
-                            Err(TransportError::PeerReset {
-                                peer,
-                                detail: format!("send failed: {e}"),
-                            }),
-                        );
-                        continue 'items; // frame abandoned
+                        abandon_detail = Some(format!("send failed: {e}"));
+                        break;
                     }
                 }
+            }
+            if let Some(detail) = abandon_detail {
+                // Recovery failed: the batch is lost. Make the loss
+                // countable, not just printable.
+                self.metrics.tx_frames_abandoned.add(frames as u64);
+                self.emit(peer, Err(TransportError::PeerReset { peer, detail }));
             }
         }
     }
@@ -486,15 +678,23 @@ impl Inner {
                 Err(_) => false,
             },
             _ => {
+                // Wait for the peer to redial into our persistent
+                // listener; the accept path's `install_stream` notifies
+                // `stream_cv` the moment the replacement is in, so this
+                // wakes immediately on reconnect rather than on a poll
+                // tick (shutdown notifies the same condvar).
                 let slot = self.conns[peer].as_ref().expect("conn slot");
                 let deadline = Instant::now() + REPLACE_WAIT;
                 let mut guard = slot.stream.lock();
-                while guard.is_none() && Instant::now() < deadline {
+                while guard.is_none() {
                     if self.stop.load(Ordering::SeqCst) {
                         return false;
                     }
-                    slot.stream_cv
-                        .wait_for(&mut guard, Duration::from_millis(50));
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    slot.stream_cv.wait_for(&mut guard, deadline - now);
                 }
                 guard.is_some()
             }
@@ -676,8 +876,17 @@ impl Link for SocketLink {
 
     fn send(&self, frame: Frame) -> Result<(), TransportError> {
         let slot = self.inner.conns[self.peer].as_ref().expect("conn slot");
-        let bytes = frame.encode_vec();
-        match slot.q.push(bytes) {
+        // Zero-alloc encode: the frame serializes straight into the
+        // queue's pooled wire buffer under the queue lock — no per-frame
+        // allocation, no intermediate copy.
+        let pushed = slot.q.push_frame(&frame);
+        // The frame's bytes now live in the wire buffer; its payload
+        // allocation is dead weight. Feed it back to the pool so the next
+        // AM (send-side construction or receive-side decode) reuses it.
+        if let Frame::Am { payload, .. } = frame {
+            crate::pool::recycle(payload);
+        }
+        match pushed {
             Ok(depth) => {
                 self.inner.metrics.note_queue_len(self.peer, depth);
                 Ok(())
@@ -725,10 +934,9 @@ impl Endpoint for SocketEndpoint {
         // everything pending (including the Bye) and exit.
         let bye = Frame::Bye {
             from: inner.me as u32,
-        }
-        .encode_vec();
+        };
         for slot in inner.conns.iter().flatten() {
-            slot.q.close_with(Some(bye.clone()));
+            slot.q.close_with(Some(&bye));
             slot.stream_cv.notify_all();
         }
         // Unblock the accept loop with a dummy dial to our own listener.
@@ -739,7 +947,7 @@ impl Endpoint for SocketEndpoint {
         let deadline = Instant::now() + Duration::from_secs(2);
         for slot in inner.conns.iter().flatten() {
             loop {
-                let drained = slot.q.state.lock().items.is_empty();
+                let drained = slot.q.state.lock().is_drained();
                 if drained || Instant::now() >= deadline {
                     break;
                 }
@@ -776,6 +984,17 @@ fn bind_listener(kind: TransportKind, uds_path: Option<PathBuf>) -> std::io::Res
     })
 }
 
+/// The writer gather budget: [`COALESCE_BUDGET`] unless
+/// `TTG_WIRE_COALESCE_BUDGET` overrides it (bytes; `0` disables
+/// coalescing — one frame per write — which is how `bench_wire` measures
+/// the pre-batching baseline in the same process).
+fn coalesce_budget_from_env() -> usize {
+    match std::env::var("TTG_WIRE_COALESCE_BUDGET") {
+        Ok(v) => v.trim().parse().unwrap_or(COALESCE_BUDGET),
+        Err(_) => COALESCE_BUDGET,
+    }
+}
+
 fn new_inner(
     me: Rank,
     n: usize,
@@ -783,6 +1002,7 @@ fn new_inner(
     listener: Listener,
     reg: &Registry,
 ) -> Arc<Inner> {
+    let coalesce_budget = coalesce_budget_from_env();
     let inner = Arc::new(Inner {
         me,
         n,
@@ -792,7 +1012,7 @@ fn new_inner(
         conns: (0..n)
             .map(|p| {
                 (p != me).then(|| ConnSlot {
-                    q: SendQ::new(SEND_QUEUE_CAP),
+                    q: SendQ::new(SEND_QUEUE_CAP, coalesce_budget == 0),
                     stream: Mutex::new(None),
                     stream_cv: Condvar::new(),
                     generation: AtomicU64::new(0),
@@ -803,6 +1023,7 @@ fn new_inner(
         sink: OnceLock::new(),
         stop: AtomicBool::new(false),
         metrics: TransportMetrics::register(reg, n),
+        coalesce_budget,
         ready: Mutex::new(0),
         ready_cv: Condvar::new(),
         threads: Mutex::new(Vec::new()),
@@ -1021,6 +1242,17 @@ mod tests {
         assert!(snap.counter(&MetricKey::global("transport", "connects")) >= 3);
         assert!(snap.counter(&MetricKey::global("transport", "tx_bytes")) > 2000);
         assert!(snap.counter(&MetricKey::global("transport", "rx_bytes")) > 2000);
+        // Writer accounting: every queued frame either had its own write
+        // or rode a coalesced one — 22 frames were sent above. (Handshake
+        // Hellos are written inline, outside the writer counters.)
+        let writes = snap.counter(&MetricKey::global("transport", "tx_writes"));
+        let coalesced = snap.counter(&MetricKey::global("transport", "tx_frames_coalesced"));
+        assert!(writes >= 1, "no writer writes counted");
+        assert_eq!(writes + coalesced, 22, "frames-per-write accounting");
+        assert_eq!(
+            snap.counter(&MetricKey::global("transport", "tx_frames_abandoned")),
+            0
+        );
         assert!(
             reg.gauge(MetricKey::ranked(2, "transport", "send_queue_hwm"))
                 .get()
@@ -1161,6 +1393,95 @@ mod tests {
         let err = eps[0].link(1).send(Frame::TermDone).unwrap_err();
         assert_eq!(err, TransportError::Closed { peer: 1 });
         eps[1].shutdown();
+    }
+
+    #[test]
+    fn pop_batch_respects_budget_and_closure() {
+        // An Am frame with a 91-byte payload encodes to exactly 100 wire
+        // bytes (4 len + 1 kind + 4 from + 4 handler + 8 seq + 88... );
+        // sizes here are taken from `encode` itself so the test tracks the
+        // codec, not hand-computed arithmetic.
+        let am = |payload_len: usize| Frame::Am {
+            from: 0,
+            handler: 1,
+            seq: 9,
+            payload: vec![0u8; payload_len],
+        };
+        let mut probe = Vec::new();
+        am(80).encode(&mut probe);
+        let wire_len = probe.len(); // identical for every am(80) below
+
+        let q = SendQ::new(64, false);
+        for _ in 0..4 {
+            q.push_frame(&am(80)).unwrap();
+        }
+        // A fresh pop hands the whole backlog over by swap regardless of
+        // the budget: all 4 frames in one batch, zero bytes copied.
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(wire_len, &mut batch), 4);
+        assert_eq!(batch.len(), 4 * wire_len);
+        // The budget caps the copy path, which engages when the caller's
+        // buffer already holds bytes (a swap would clobber them). Budget
+        // 2.5 frames: take 1, 2 (under, keep going), 3 (past it, stop).
+        for _ in 0..4 {
+            q.push_frame(&am(80)).unwrap();
+        }
+        let mut batch = vec![0xAAu8];
+        assert_eq!(q.pop_batch(wire_len * 5 / 2, &mut batch), 3);
+        assert_eq!(batch.len(), 1 + 3 * wire_len);
+        // Budget 0: strictly one frame per call.
+        batch.clear();
+        batch.push(0xAA);
+        assert_eq!(q.pop_batch(0, &mut batch), 1);
+        assert_eq!(batch.len(), 1 + wire_len);
+        // A single oversized frame still drains alone on the copy path.
+        q.push_frame(&am(10_000)).unwrap();
+        q.push_frame(&am(8)).unwrap();
+        batch.clear();
+        batch.push(0xAA);
+        assert_eq!(q.pop_batch(16, &mut batch), 1);
+        assert!(batch.len() > 10_000);
+        // Close with a final frame: the tail drains, then pop reports end.
+        q.close_with(Some(&Frame::TermDone));
+        batch.clear();
+        assert_eq!(q.pop_batch(1 << 20, &mut batch), 2); // am(8) + TermDone
+        batch.clear();
+        assert_eq!(q.pop_batch(1 << 20, &mut batch), 0);
+        assert!(batch.is_empty());
+
+        // The drained bytes decode back to the frames that were pushed —
+        // the in-place encode and offset bookkeeping stay aligned.
+        let q = SendQ::new(64, false);
+        q.push_frame(&am(80)).unwrap();
+        q.push_frame(&Frame::TermDone).unwrap();
+        let mut wire = Vec::new();
+        assert_eq!(q.pop_batch(1 << 20, &mut wire), 2);
+        let mut codec = FrameCodec::new();
+        let mut got = Vec::new();
+        codec.feed(&wire, &mut |f| got.push(f)).unwrap();
+        assert_eq!(got, vec![am(80), Frame::TermDone]);
+
+        // Legacy (pre-batching) mode: strictly one frame per pop no
+        // matter the budget, same bytes on the wire.
+        let q = SendQ::new(64, true);
+        q.push_frame(&am(80)).unwrap();
+        q.push_frame(&Frame::TermDone).unwrap();
+        let mut wire = Vec::new();
+        assert_eq!(q.pop_batch(1 << 20, &mut wire), 1);
+        assert_eq!(q.pop_batch(1 << 20, &mut wire), 1);
+        let mut codec = FrameCodec::new();
+        let mut got = Vec::new();
+        codec.feed(&wire, &mut |f| got.push(f)).unwrap();
+        assert_eq!(got, vec![am(80), Frame::TermDone]);
+    }
+
+    #[test]
+    fn coalesce_budget_env_override() {
+        // Can't set the process env safely under parallel tests; exercise
+        // the parse paths via the default instead and pin the constant the
+        // bench relies on.
+        assert_eq!(COALESCE_BUDGET, 256 * 1024);
+        assert_eq!(coalesce_budget_from_env(), COALESCE_BUDGET);
     }
 
     #[test]

@@ -199,6 +199,70 @@ fn killed_rank_reports_comm_error_within_deadline() {
 }
 
 #[test]
+fn ack_batching_is_bit_identical_under_chaos() {
+    // The batched/piggybacked ack path (the default) and the legacy
+    // one-ack-per-message path must both restore exactly-once delivery
+    // under drop/dup/reorder injection: the factor stays bit-identical to
+    // the fault-free run either way. The batched run must also actually
+    // batch — far fewer ack flush events than logical messages.
+    let a = TiledMatrix::random_spd(6, 8, 515);
+    let clean_cfg = cholesky::ttg::Config {
+        ranks: 4,
+        workers: 2,
+        backend: ttg::parsec::backend(),
+        trace: false,
+        priorities: true,
+        faults: None,
+        transport: TransportSpec::InProc,
+    };
+    let (l_clean, _) = cholesky::ttg::run(&a, &clean_cfg);
+
+    for seed in [7u64, 99] {
+        let batched_cfg = cholesky::ttg::Config {
+            faults: Some(chaos_plan(seed)),
+            ..clean_cfg.clone()
+        };
+        let (l_batched, r_batched) = cholesky::ttg::run(&a, &batched_cfg);
+        assert_eq!(
+            l_batched.max_abs_diff(&l_clean),
+            0.0,
+            "seed {seed}: batched acks changed the factor"
+        );
+        assert!(
+            r_batched.comm_errors.is_empty(),
+            "seed {seed}: {:?}",
+            r_batched.comm_errors
+        );
+        assert!(
+            r_batched.comm.ack_flushes < r_batched.comm.am_count,
+            "seed {seed}: batching inert ({} flushes for {} messages)",
+            r_batched.comm.ack_flushes,
+            r_batched.comm.am_count
+        );
+
+        let immediate_cfg = cholesky::ttg::Config {
+            faults: Some(chaos_plan(seed).with_immediate_acks()),
+            ..clean_cfg.clone()
+        };
+        let (l_imm, r_imm) = cholesky::ttg::run(&a, &immediate_cfg);
+        assert_eq!(
+            l_imm.max_abs_diff(&l_clean),
+            0.0,
+            "seed {seed}: immediate acks changed the factor"
+        );
+        assert!(
+            r_imm.comm_errors.is_empty(),
+            "seed {seed}: {:?}",
+            r_imm.comm_errors
+        );
+        assert_eq!(
+            r_imm.comm.acks_batched, 0,
+            "seed {seed}: immediate mode must not batch"
+        );
+    }
+}
+
+#[test]
 fn cholesky_chaos_over_tcp_transport_matches_clean_run() {
     // The full stack at once: fault injection (drop + dup + retry) running
     // ABOVE the TCP socket mesh — the reliable layer must restore
