@@ -247,6 +247,8 @@ pub fn run(a: &TiledMatrix, cfg: &Config) -> (TiledMatrix, ExecReport) {
             delivery_deadline: None,
             transport: cfg.transport.clone(),
             sched_seed: None,
+            rma_timeout: None,
+            snapshot_sink: None,
         };
         if let Some(plan) = cfg.faults.clone() {
             ec = ec.with_faults(plan);

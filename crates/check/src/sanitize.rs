@@ -93,13 +93,16 @@ pub fn stuck_diagnostic(s: &StuckEntry) -> Diagnostic {
     d
 }
 
-/// Diagnostic `TTG040`–`TTG044` for one structured communication failure
-/// (see DESIGN §8): retry-budget exhaustion and deadline misses are hard
-/// errors (data was lost or the run gave up); a post-shutdown send on a
-/// closed channel is only a warning (expected during teardown races).
+/// Diagnostic `TTG040`–`TTG049` for one structured communication failure
+/// (see DESIGN §8 and §13): retry-budget exhaustion, deadline misses,
+/// snapshot/recovery failures, and RMA timeouts are hard errors (data was
+/// lost or the run gave up); a post-shutdown send on a closed channel is
+/// only a warning (expected during teardown races), and a `RankRecovered`
+/// event is informational — a kill that the runtime survived.
 pub fn comm_diagnostic(e: &CommError) -> Diagnostic {
     let mut d = match e.kind {
         CommErrorKind::ChannelClosed => Diagnostic::warning(e.code(), e.to_string()),
+        CommErrorKind::RankRecovered => Diagnostic::warning(e.code(), e.to_string()),
         _ => Diagnostic::error(e.code(), e.to_string()),
     };
     if let Some(to) = e.to {
@@ -121,6 +124,30 @@ pub fn comm_diagnostic(e: &CommError) -> Diagnostic {
             "a send raced the destination rank's shutdown; harmless during \
              teardown, a bug if it appears mid-run",
         ),
+        CommErrorKind::TransportFailure => d.with_help(
+            "the socket link layer failed mid-run (connect refused, peer \
+             reset, framing garbage); check the peer process and the \
+             transport spec",
+        ),
+        CommErrorKind::RankRecovered => d.with_help(
+            "informational: a killed rank was restored from its last \
+             snapshot and its logged sends replayed; see DESIGN \u{a7}13",
+        ),
+        CommErrorKind::SnapshotFailed => d.with_help(
+            "a periodic state snapshot could not be captured or persisted; \
+             the previous snapshot remains the restore point — check the \
+             snapshot sink (disk space, permissions)",
+        ),
+        CommErrorKind::RecoveryFailed => d.with_help(
+            "a rank restore/replay attempt failed; the rank stays dead and \
+             the run degrades to fail-and-report — inspect the paired \
+             TTG040/TTG041 diagnostics for the data that was lost",
+        ),
+        CommErrorKind::RmaTimeout => d.with_help(
+            "a cross-process one-sided fetch expired its timeout (default \
+             30s, configurable via `ExecConfig::with_rma_timeout`); the \
+             region owner is dead, overloaded, or the timeout is too tight",
+        ),
         _ => d,
     };
     d
@@ -131,7 +158,7 @@ pub fn comm_diagnostic(e: &CommError) -> Diagnostic {
 /// Empty `violations`, `stuck`, and `comm_errors` produce a clean report.
 /// Violations keep their [`Violation::code`]s (TTG02x, TTG031); each stuck
 /// key becomes a `TTG030` error; communication failures become
-/// `TTG040`–`TTG044` diagnostics.
+/// `TTG040`–`TTG049` diagnostics.
 pub fn report_from_exec(exec: &ExecReport) -> Report {
     let mut report = Report::new(exec.per_node.len(), 0);
     for v in &exec.violations {
@@ -170,6 +197,11 @@ mod tests {
             (CommErrorKind::ChannelClosed, "TTG042"),
             (CommErrorKind::DeliveryFailed, "TTG043"),
             (CommErrorKind::UnknownRegion, "TTG044"),
+            (CommErrorKind::TransportFailure, "TTG045"),
+            (CommErrorKind::RankRecovered, "TTG046"),
+            (CommErrorKind::SnapshotFailed, "TTG047"),
+            (CommErrorKind::RecoveryFailed, "TTG048"),
+            (CommErrorKind::RmaTimeout, "TTG049"),
         ];
         for (kind, code) in cases {
             let d = comm_diagnostic(&err(kind));

@@ -37,8 +37,13 @@ use ttg_transport::{
     local_mesh, Endpoint, Frame, Link, TransportError, TransportKind, TransportSpec,
 };
 
+use crate::buf::{ReadBuf, WireError, WriteBuf};
 use crate::fault::{salt, FaultPlan};
-use crate::reliable::{LinkTx, PendingAcks, SeqWindow, Unacked};
+use crate::recover::SnapshotSink;
+use crate::reliable::{
+    content_key, is_replay, pack_seq, unpack_seq, ContentLog, LinkTx, PendingAcks, SeqWindow,
+    Unacked, REPLAY_BIT,
+};
 
 /// Logical process rank within the fabric.
 pub type Rank = usize;
@@ -131,6 +136,20 @@ pub enum RmaError {
         /// The unknown region id.
         id: RegionId,
     },
+    /// A cross-process fetch timed out waiting for the owner's response
+    /// (multi-process executions only). Separate from `Transport` so a
+    /// respawning peer surfaces as a bounded, structured stall instead of
+    /// an undifferentiated transport failure.
+    Timeout {
+        /// Fetching rank.
+        caller: Rank,
+        /// Region owner that never answered.
+        owner: Rank,
+        /// The region id being fetched.
+        id: RegionId,
+        /// How long the caller waited.
+        waited: Duration,
+    },
     /// A cross-process fetch could not reach the owner or timed out
     /// waiting for the response (multi-process executions only).
     Transport {
@@ -151,6 +170,16 @@ impl std::fmt::Display for RmaError {
             RmaError::UnknownRegion { caller, owner, id } => write!(
                 f,
                 "rma_get of unknown region {id} on rank {owner} (caller rank {caller})"
+            ),
+            RmaError::Timeout {
+                caller,
+                owner,
+                id,
+                waited,
+            } => write!(
+                f,
+                "rma_get of region {id} on rank {owner} timed out after \
+                 {waited:?} (caller rank {caller})"
             ),
             RmaError::Transport {
                 caller,
@@ -187,6 +216,18 @@ pub enum CommErrorKind {
     /// The link layer failed: connect refused, peer reset, handshake
     /// mismatch, or framing garbage (socket transports only).
     TransportFailure,
+    /// A killed rank was restored from its last snapshot and its logged
+    /// messages replayed (informational: recorded in the recovery log,
+    /// not the error sink).
+    RankRecovered,
+    /// A periodic state snapshot could not be captured or persisted; the
+    /// previous snapshot remains the restore point.
+    SnapshotFailed,
+    /// A rank restore/replay attempt failed; the rank stays dead and the
+    /// run degrades to the PR 5 fail-and-report path.
+    RecoveryFailed,
+    /// A cross-process RMA fetch expired its configured timeout.
+    RmaTimeout,
 }
 
 impl CommErrorKind {
@@ -199,6 +240,10 @@ impl CommErrorKind {
             CommErrorKind::DeliveryFailed => "TTG043",
             CommErrorKind::UnknownRegion => "TTG044",
             CommErrorKind::TransportFailure => "TTG045",
+            CommErrorKind::RankRecovered => "TTG046",
+            CommErrorKind::SnapshotFailed => "TTG047",
+            CommErrorKind::RecoveryFailed => "TTG048",
+            CommErrorKind::RmaTimeout => "TTG049",
         }
     }
 }
@@ -269,6 +314,19 @@ impl From<RmaError> for CommError {
                 handler: None,
                 seq: Some(id),
                 detail: format!("region {id}"),
+            },
+            RmaError::Timeout {
+                caller,
+                owner,
+                id,
+                waited,
+            } => CommError {
+                kind: CommErrorKind::RmaTimeout,
+                from: Some(owner),
+                to: Some(caller),
+                handler: None,
+                seq: Some(id),
+                detail: format!("expired after {waited:?}"),
             },
             RmaError::Transport {
                 caller,
@@ -376,6 +434,18 @@ pub struct FabricStats {
     /// Per-rank scheduler ready-queue high-water marks (jobs on one
     /// worker's queues).
     sched_ready_hwm: Vec<Gauge>,
+    /// Recovery: per-rank state snapshots captured.
+    snapshots_taken: Counter,
+    /// Recovery: bytes persisted through the snapshot sink.
+    snapshot_bytes: Counter,
+    /// Recovery: snapshots restored into a rank.
+    restores: Counter,
+    /// Recovery: killed ranks brought back to life.
+    recoveries: Counter,
+    /// Recovery: logged messages retransmitted during replay.
+    replayed_sends: Counter,
+    /// Recovery: replayed/re-executed messages dropped by content dedup.
+    replay_dedup_hits: Counter,
 }
 
 /// Plain snapshot of [`FabricStats`] counters.
@@ -451,6 +521,18 @@ pub struct StatsSnapshot {
     /// Highest single-worker ready-queue depth observed across ranks
     /// (jobs; mirrors `transport_queue_hwm` for the scheduler).
     pub sched_ready_hwm: u64,
+    /// Recovery: per-rank state snapshots captured.
+    pub snapshots_taken: u64,
+    /// Recovery: bytes persisted through the snapshot sink.
+    pub snapshot_bytes: u64,
+    /// Recovery: snapshots restored into a rank.
+    pub restores: u64,
+    /// Recovery: killed ranks brought back to life.
+    pub recoveries: u64,
+    /// Recovery: logged messages retransmitted during replay.
+    pub replayed_sends: u64,
+    /// Recovery: replayed/re-executed messages dropped by content dedup.
+    pub replay_dedup_hits: u64,
 }
 
 impl FabricStats {
@@ -505,6 +587,12 @@ impl FabricStats {
             sched_ready_hwm: (0..n)
                 .map(|r| reg.gauge(MetricKey::ranked(r, "sched", "ready_hwm")))
                 .collect(),
+            snapshots_taken: c("snapshots_taken"),
+            snapshot_bytes: c("snapshot_bytes"),
+            restores: c("restores"),
+            recoveries: c("recoveries"),
+            replayed_sends: c("replayed_sends"),
+            replay_dedup_hits: c("replay_dedup_hits"),
         }
     }
 
@@ -553,6 +641,12 @@ impl FabricStats {
                 .map(|g| g.get().max(0) as u64)
                 .max()
                 .unwrap_or(0),
+            snapshots_taken: self.snapshots_taken.get(),
+            snapshot_bytes: self.snapshot_bytes.get(),
+            restores: self.restores.get(),
+            recoveries: self.recoveries.get(),
+            replayed_sends: self.replayed_sends.get(),
+            replay_dedup_hits: self.replay_dedup_hits.get(),
         }
     }
 }
@@ -596,6 +690,48 @@ struct ChaosState {
     killed: Vec<AtomicBool>,
     /// Progress-thread stop flag (set on fabric shutdown).
     stop: AtomicBool,
+    /// Recovery (`FaultPlan::recover`): snapshot interval in accepted
+    /// packets, `None` = recovery off (the pre-PR-10 fail-and-report path).
+    recover: Option<u64>,
+    /// Per-kill-script "already fired" latches: a restored rank's replayed
+    /// packet counter must not re-trigger the same scripted death.
+    kill_fired: Vec<AtomicBool>,
+    /// Per-sender-row incarnation, packed into the top bits of every wire
+    /// seq. Bumped when the rank restores; the sentinel row `n` never
+    /// restarts and stays at 0.
+    incarnations: Vec<AtomicU64>,
+    /// Per destination rank: last incarnation seen on each incoming link
+    /// row. A higher incarnation resets that row's window and switches the
+    /// row to content-log consultation.
+    link_inc: Vec<Mutex<Vec<u64>>>,
+    /// Per destination rank: content multiset of delivered messages, one
+    /// log per incoming link row (consulted after a sender restart).
+    content_logs: Vec<Mutex<Vec<ContentLog>>>,
+    /// Per directed link (indexed like `links`): every logical message
+    /// ever sent, parked for replay toward a restored receiver.
+    replay_log: Vec<Mutex<Vec<ReplayEntry>>>,
+    /// Per rank: fresh logical accepts since the rank's last snapshot
+    /// (in-flight compensation at restore, see `restore_rank_comm`).
+    accepted_since_snap: Vec<AtomicU64>,
+    /// Per rank: logical sends originated since the rank's last snapshot.
+    sent_since_snap: Vec<AtomicU64>,
+    /// Per rank: received-packet count at the last snapshot (drives the
+    /// `snapshot_due` interval check).
+    last_snap: Vec<AtomicU64>,
+}
+
+/// One logical message parked in a link's replay log.
+struct ReplayEntry {
+    /// Raw (unpacked) link sequence number at send time.
+    seq: u64,
+    /// Sender-row incarnation the message was originally packed with.
+    /// Replay re-packs with this value, not the current one: a restored
+    /// sender's reset `LinkTx` reissues the same raw seqs under its new
+    /// incarnation, so replaying old messages under the new incarnation
+    /// would collide with re-executed sends in the receive window.
+    inc: u64,
+    handler: u32,
+    payload: Arc<Vec<u8>>,
 }
 
 /// Which link layer carries inter-rank frames (DESIGN §9).
@@ -669,10 +805,16 @@ struct RemoteState {
     /// Coordinator only: entry counts per in-progress epoch.
     barrier_entered: Mutex<HashMap<u64, usize>>,
     term: Mutex<TermDriver>,
+    /// Scripted self-abort: kill this process after receiving this many
+    /// AM frames (remote `kill=r@n` fault plans; the launcher's watchdog
+    /// recovers the job).
+    kill_after: Option<u64>,
+    /// AM frames received so far (drives `kill_after`).
+    rx_frames: AtomicU64,
 }
 
 impl RemoteState {
-    fn new(endpoint: Arc<dyn Endpoint>) -> RemoteState {
+    fn new(endpoint: Arc<dyn Endpoint>, kill_after: Option<u64>) -> RemoteState {
         let me = endpoint.rank();
         RemoteState {
             endpoint,
@@ -688,12 +830,17 @@ impl RemoteState {
             barrier_cv: Condvar::new(),
             barrier_entered: Mutex::new(HashMap::new()),
             term: Mutex::new(TermDriver::default()),
+            kill_after,
+            rx_frames: AtomicU64::new(0),
         }
     }
 }
 
 /// How long a cross-process RMA fetch waits for the owner's response.
 const RMA_REMOTE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default interval between recovery snapshots, accepted packets.
+pub const DEFAULT_SNAPSHOT_INTERVAL: u64 = 128;
 
 /// The fabric connecting `n` ranks — in one process over channels or a
 /// socket mesh, or one rank per process over [`TransportSpec::Remote`].
@@ -715,6 +862,15 @@ pub struct Fabric {
     wire: LinkLayer,
     /// Set by `shutdown_all`: late transport errors are teardown noise.
     stopping: AtomicBool,
+    /// Where recovery snapshots persist (installed by the executor when
+    /// the fault plan enables recovery).
+    snapshot_sink: Mutex<Option<Arc<dyn SnapshotSink>>>,
+    /// Informational recovery events (TTG046), kept apart from the error
+    /// sink so a fully recovered run still reports zero comm errors.
+    recovery_log: Mutex<Vec<CommError>>,
+    /// Cross-process RMA fetch timeout, nanoseconds (satellite: was a
+    /// hardcoded 30 s const; now configurable via `ExecConfig`).
+    rma_timeout_ns: AtomicU64,
 }
 
 impl Fabric {
@@ -794,13 +950,35 @@ impl Fabric {
                 LinkLayer::Mesh { endpoints, links }
             }
             TransportSpec::Remote(h) => {
-                if plan.is_some() {
-                    return Err(transport_err(
-                        "fault injection requires an in-process transport \
-                         (inproc/tcp/uds); multi-process ranks share no \
-                         ack/dedup state"
-                            .into(),
-                    ));
+                // Kill scripts are meaningful on real processes: the rank
+                // whose threshold fires aborts itself and the launcher's
+                // watchdog recovers the job. Probabilistic link faults
+                // stay rejected — multi-process ranks share no ack/dedup
+                // state, so per-packet dice have nothing to act on.
+                let mut kill_after: Option<u64> = None;
+                if let Some(plan) = &plan {
+                    if !plan.is_kill_only() {
+                        return Err(transport_err(
+                            "probabilistic fault injection (drop/dup/reorder/delay) \
+                             requires an in-process transport (inproc/tcp/uds); \
+                             multi-process ranks share no ack/dedup state — \
+                             remote mode accepts kill=r@n scripts only"
+                                .into(),
+                        ));
+                    }
+                    if plan.kills.iter().any(|k| k.rank == 0) {
+                        return Err(transport_err(
+                            "kill=0 is not recoverable in remote mode: rank 0 \
+                             coordinates the barrier and termination protocols"
+                                .into(),
+                        ));
+                    }
+                    kill_after = plan
+                        .kills
+                        .iter()
+                        .filter(|k| k.rank == h.endpoint.rank())
+                        .map(|k| k.after_packets)
+                        .min();
                 }
                 if h.endpoint.n_ranks() != n {
                     return Err(transport_err(format!(
@@ -809,7 +987,10 @@ impl Fabric {
                         h.endpoint.n_ranks()
                     )));
                 }
-                LinkLayer::Remote(Box::new(RemoteState::new(Arc::clone(&h.endpoint))))
+                LinkLayer::Remote(Box::new(RemoteState::new(
+                    Arc::clone(&h.endpoint),
+                    kill_after,
+                )))
             }
         };
         let mut senders = Vec::with_capacity(n);
@@ -821,6 +1002,8 @@ impl Fabric {
         }
         let stats = FabricStats::new(&telemetry, n);
         let chaos = plan.map(|plan| ChaosState {
+            recover: plan.recover,
+            kill_fired: plan.kills.iter().map(|_| AtomicBool::new(false)).collect(),
             plan,
             links: (0..(n + 1) * n)
                 .map(|_| Mutex::new(LinkTx::default()))
@@ -835,6 +1018,15 @@ impl Fabric {
             rx_packets: (0..n).map(|_| AtomicU64::new(0)).collect(),
             killed: (0..n).map(|_| AtomicBool::new(false)).collect(),
             stop: AtomicBool::new(false),
+            incarnations: (0..n + 1).map(|_| AtomicU64::new(0)).collect(),
+            link_inc: (0..n).map(|_| Mutex::new(vec![0u64; n + 1])).collect(),
+            content_logs: (0..n)
+                .map(|_| Mutex::new((0..n + 1).map(|_| ContentLog::new()).collect()))
+                .collect(),
+            replay_log: (0..(n + 1) * n).map(|_| Mutex::new(Vec::new())).collect(),
+            accepted_since_snap: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            sent_since_snap: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            last_snap: (0..n).map(|_| AtomicU64::new(0)).collect(),
         });
         let fabric = Arc::new(Fabric {
             n,
@@ -851,6 +1043,9 @@ impl Fabric {
             chaos,
             wire,
             stopping: AtomicBool::new(false),
+            snapshot_sink: Mutex::new(None),
+            recovery_log: Mutex::new(Vec::new()),
+            rma_timeout_ns: AtomicU64::new(RMA_REMOTE_TIMEOUT.as_nanos() as u64),
         });
         // Install receive sinks now that the fabric exists. Sinks hold only
         // a weak reference: endpoint reader threads never keep the fabric
@@ -1017,10 +1212,31 @@ impl Fabric {
             // Destination is this process: fall through to the local
             // channel (loopback and external-seed deliveries).
         }
-        if from != to {
+        let chaos_carries = match &self.chaos {
+            // Under recovery even rank-local sends are sequenced and
+            // logged: a restored rank's re-executed tasks re-send their
+            // loopback outputs, and only the seq/content machinery can
+            // dedup those against the copies delivered before the crash.
+            // Remote mode never engages this layer: its fault plans are
+            // kill scripts acting on the process itself.
+            Some(cs) => {
+                !matches!(self.wire, LinkLayer::Remote(_)) && (from != to || cs.recover.is_some())
+            }
+            None => false,
+        };
+        if chaos_carries {
             if let Some(cs) = &self.chaos {
-                self.count_wire_am(from, to, bytes);
+                if from != to {
+                    self.count_wire_am(from, to, bytes);
+                } else {
+                    self.stats.local_deliveries.inc();
+                }
                 self.in_flight.fetch_add(1, Ordering::SeqCst);
+                if cs.recover.is_some() {
+                    if let Some(c) = cs.sent_since_snap.get(from) {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
                 let payload = Arc::new(payload);
                 let seq = {
                     let mut link = cs.links[self.link_idx(from, to)].lock();
@@ -1033,21 +1249,36 @@ impl Fabric {
                             attempts: 0,
                             next_retry: Instant::now() + cs.plan.retry.backoff(1),
                             delivered: false,
+                            replayed: false,
                         },
                     );
                     seq
                 };
+                if cs.recover.is_some() {
+                    cs.replay_log[self.link_idx(from, to)].lock().push(ReplayEntry {
+                        seq,
+                        inc: cs.incarnations[self.link_row(from)].load(Ordering::SeqCst),
+                        handler,
+                        payload: Arc::clone(&payload),
+                    });
+                }
                 // Piggyback: flush any acks `from` owes `to` first, so on
                 // a socket mesh the AckRange frame lands in the same
                 // coalesced write as this data frame. Sentinel senders
                 // (`from >= n`) receive nothing and never owe acks.
-                if from < self.n {
+                if from < self.n && from != to {
                     self.flush_acks(cs, self.link_idx(to, from), true);
                 }
-                self.transmit(cs, from, to, handler, seq, &payload, 0);
+                self.transmit(cs, from, to, handler, seq, &payload, 0, false);
                 return Ok(());
             }
         }
+        // Count the packet in flight *before* it is enqueued: once the
+        // channel has it, the receiver may process and retire it at any
+        // moment, and a late increment would let the in-flight gauge dip
+        // through zero — briefly convincing the termination detector the
+        // fabric is drained while a delivery is still being handled.
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
         match self.phys_deliver(from, to, handler, 0, payload) {
             Ok(()) => {
                 if from != to {
@@ -1055,10 +1286,12 @@ impl Fabric {
                 } else {
                     self.stats.local_deliveries.inc();
                 }
-                self.in_flight.fetch_add(1, Ordering::SeqCst);
                 Ok(())
             }
-            Err(e) => Err(e),
+            Err(e) => {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                Err(e)
+            }
         }
     }
 
@@ -1209,6 +1442,19 @@ impl Fabric {
                 seq,
                 payload,
             } => {
+                let got = rs.rx_frames.fetch_add(1, Ordering::SeqCst) + 1;
+                if let Some(after) = rs.kill_after {
+                    if got >= after {
+                        // Scripted death of a real OS process: the
+                        // launcher's watchdog reaps this child and
+                        // recovers the job (DESIGN §13).
+                        eprintln!(
+                            "rank {}: scripted kill after {got} received frames",
+                            rs.me
+                        );
+                        std::process::abort();
+                    }
+                }
                 self.stats.rx_bytes[rs.me].add(payload.len() as u64);
                 rs.recvd.fetch_add(1, Ordering::SeqCst);
                 self.in_flight.fetch_add(1, Ordering::SeqCst);
@@ -1457,8 +1703,61 @@ impl Fabric {
         seq: u64,
         payload: &Arc<Vec<u8>>,
         attempt: u32,
+        replay: bool,
+    ) {
+        // Wire seq carries the sender row's incarnation in its top bits so
+        // receivers can tell a restarted sender's fresh seq space from
+        // stale pre-crash traffic. Incarnation 0 (no restarts) packs to
+        // the raw seq itself: recovery-off wires are bit-identical.
+        // Entries that came back with a restored `LinkTx` transmit under
+        // the *new* incarnation (the receiver's row was reset by the
+        // restore surgery) with the replay marker set.
+        let mut seq = pack_seq(
+            cs.incarnations[self.link_row(from)].load(Ordering::SeqCst),
+            seq,
+        );
+        if replay {
+            seq |= REPLAY_BIT;
+        }
+        self.transmit_packed(cs, from, to, handler, seq, payload, attempt);
+    }
+
+    /// [`Fabric::transmit`] with an already-packed wire seq. Replay uses
+    /// this directly: a replayed message must carry the incarnation its
+    /// original transmission carried, not the sender row's current one —
+    /// otherwise replayed old raw seqs collide with the restored rank's
+    /// re-executed sends (whose reset `LinkTx` reissues the same raw seqs
+    /// under the new incarnation) and the receive window drops whichever
+    /// arrives second even when task scheduling reordered the content.
+    fn transmit_packed(
+        &self,
+        cs: &ChaosState,
+        from: Rank,
+        to: Rank,
+        handler: u32,
+        seq: u64,
+        payload: &Arc<Vec<u8>>,
+        attempt: u32,
     ) {
         let link = self.link_idx(from, to) as u64;
+        if is_replay(seq) {
+            // Replayed copies are a recovery re-drive, not wire traffic:
+            // they bypass the killed gate (restore re-drives the rank
+            // while it is still latched dead) and fault injection (a
+            // replayed loopback copy has no backing retransmit entry — an
+            // injected drop would lose it forever). Each copy carries its
+            // own in-flight slot from enqueue to classification —
+            // otherwise the termination detector could see a drained
+            // fabric while replays still sit unclassified in a channel.
+            self.in_flight.fetch_add(1, Ordering::SeqCst);
+            if self
+                .phys_deliver(from, to, handler, seq, (**payload).clone())
+                .is_err()
+            {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            return;
+        }
         // A killed rank neither sends nor receives.
         if cs.killed[to].load(Ordering::SeqCst)
             || (from < self.n && cs.killed[from].load(Ordering::SeqCst))
@@ -1524,24 +1823,118 @@ impl Fabric {
     /// loss, which only causes spurious retransmits — never double
     /// delivery).
     pub fn rx_accept(&self, to: Rank, from: Rank, seq: u64) -> bool {
+        self.rx_accept_am(to, from, seq, 0, &[])
+    }
+
+    /// Like [`Fabric::rx_accept`], but with the packet's handler and
+    /// payload so recovery-enabled fabrics can log delivered content and
+    /// consult the log after a sender restart. Call sites that never run
+    /// under recovery may keep using the payload-less wrapper.
+    pub fn rx_accept_am(
+        &self,
+        to: Rank,
+        from: Rank,
+        seq: u64,
+        handler: u32,
+        payload: &[u8],
+    ) -> bool {
         let Some(cs) = &self.chaos else { return true };
-        if seq == 0 || from == to {
+        if seq == 0 || (from == to && cs.recover.is_none()) {
             return true;
         }
+        let replay = is_replay(seq);
+        let (inc, raw) = unpack_seq(seq);
         let received = cs.rx_packets[to].fetch_add(1, Ordering::SeqCst) + 1;
-        for k in &cs.plan.kills {
-            if k.rank == to && received >= k.after_packets {
+        for (ki, k) in cs.plan.kills.iter().enumerate() {
+            if k.rank == to && received >= k.after_packets && !cs.kill_fired[ki].load(Ordering::SeqCst)
+            {
+                // Latch: a restored rank's replayed packet counter must
+                // not re-trigger the same scripted death.
+                cs.kill_fired[ki].store(true, Ordering::SeqCst);
                 cs.killed[to].store(true, Ordering::SeqCst);
             }
         }
-        if cs.killed[to].load(Ordering::SeqCst) {
+        if cs.killed[to].load(Ordering::SeqCst) && !replay {
+            // A killed rank receives nothing — except replayed copies,
+            // which the restore sweep drives while the rank is still
+            // latched dead. That ordering (replay enqueued before the
+            // latch clears) plus channel FIFO guarantees every replayed
+            // loopback copy is classified before any re-executed send's
+            // fresh incarnation can retire the old seq space.
             return false;
         }
         let row = self.link_row(from);
-        let fresh = cs.windows[to].lock()[row].accept(seq);
+        let mut consult = false;
+        // Under recovery, the incarnation guard is held across the whole
+        // classification — window, content log, and the delivered mark on
+        // the sender entry. The restore's per-receiver surgery takes the
+        // same lock, so each in-flight copy is classified either entirely
+        // before the surgery (its delivered flag is visible to the retire
+        // scan) or entirely after (the incarnation bump stale-drops it);
+        // no copy can be half-classified across the cut and double-retire
+        // an in-flight slot.
+        let _inc_guard = if cs.recover.is_some() {
+            let mut incs = cs.link_inc[to].lock();
+            match inc.cmp(&incs[row]) {
+                std::cmp::Ordering::Greater => {
+                    // The sender restarted: its new seq space starts over,
+                    // so the old window is meaningless. Reset it and rely
+                    // on the content log to drop replayed duplicates.
+                    incs[row] = inc;
+                    cs.windows[to].lock()[row] = SeqWindow::new();
+                }
+                std::cmp::Ordering::Less => {
+                    // Stale copy from a previous incarnation of the
+                    // sender: its seq space is retired, drop unacked.
+                    self.stats.am_dedup_hits.inc();
+                    if replay {
+                        // A replayed copy settles its own channel slot on
+                        // every terminal outcome.
+                        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    return false;
+                }
+                std::cmp::Ordering::Equal => {}
+            }
+            consult = incs[row] > 0;
+            Some(incs)
+        } else {
+            None
+        };
+        let fresh = cs.windows[to].lock()[row].accept(raw);
         if !fresh {
             self.stats.am_dedup_hits.inc();
+            if replay {
+                // Duplicate replayed copy (e.g. a marked entry's
+                // retransmit racing the sweep's logged copy): settle the
+                // channel slot this transmission carried.
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
         }
+        let mut deliver = fresh;
+        if fresh && cs.recover.is_some() && !payload.is_empty() {
+            let key = Self::am_content_key(handler, payload);
+            let mut logs = cs.content_logs[to].lock();
+            if consult && logs[row].consume(key) {
+                self.stats.replay_dedup_hits.inc();
+                // Retire one slot either way: a live re-execution
+                // duplicate holds its logical send's slot (it will never
+                // reach `packet_processed`); a replayed copy holds the
+                // per-transmission channel slot it was enqueued with.
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                deliver = false;
+            } else {
+                logs[row].record(key);
+            }
+        }
+        if deliver && cs.recover.is_some() {
+            cs.accepted_since_snap[to].fetch_add(1, Ordering::SeqCst);
+            // A delivered replayed copy keeps its per-transmission slot:
+            // the executor's `packet_processed` retires it — the original
+            // logical send is no longer on the ledger (retired when first
+            // processed, or by a restore scan).
+        }
+        let seq = raw;
         // Acknowledge on every receipt (duplicates re-ack, covering a
         // previously lost ack). The receiver's acceptance itself is always
         // recorded on the sender entry via `delivered`; only the ack
@@ -1553,6 +1946,15 @@ impl Fabric {
             // acks-per-message reads ~1.0 on this path.
             let mut tx = cs.links[link].lock();
             if let Some(e) = tx.unacked.get_mut(&seq) {
+                if deliver && !replay && e.replayed {
+                    // The entry's slot was retired by a restore scan, but
+                    // this copy is the original transmit landing after the
+                    // latch cleared — pre-pay its `packet_processed` like
+                    // a replay-marked delivery. (The `delivered` mark and
+                    // the scan share this lock, so exactly one of them
+                    // settles the slot.)
+                    self.in_flight.fetch_add(1, Ordering::SeqCst);
+                }
                 e.delivered = true;
                 let ack_lost = cs.plan.drop > 0.0
                     && cs.plan.roll(salt::ACK, link as u64, seq, e.attempts) < cs.plan.drop;
@@ -1569,12 +1971,35 @@ impl Fabric {
             {
                 let mut tx = cs.links[link].lock();
                 if let Some(e) = tx.unacked.get_mut(&seq) {
+                    if deliver && !replay && e.replayed {
+                        // See the immediate-acks branch: original transmit
+                        // of a scan-retired entry — pre-pay its slot.
+                        self.in_flight.fetch_add(1, Ordering::SeqCst);
+                    }
                     e.delivered = true;
                 }
             }
             cs.pending_acks[link].lock().note(seq, Instant::now());
         }
-        fresh
+        deliver
+    }
+
+    /// Content identity of a node active message. The node-AM header is
+    /// `[from_task u64][msg_type u8][terminal u16][src_rank u64]`. Two
+    /// fields are transient provenance, not logical content, and must be
+    /// masked out of the identity: `from_task` (bytes 0..8 — a re-executed
+    /// producer is allocated a fresh task id, but its message is the same
+    /// message), and for split-metadata messages the `[region u64]
+    /// [owner u64]` pair at bytes 19..35 (RMA ids change when a restarted
+    /// task re-registers its output).
+    fn am_content_key(handler: u32, payload: &[u8]) -> u128 {
+        if payload.len() >= 35 && payload[8] == 1 {
+            content_key(handler, &[&payload[8..19], &payload[35..]])
+        } else if payload.len() >= 8 {
+            content_key(handler, &[&payload[8..]])
+        } else {
+            content_key(handler, &[payload])
+        }
     }
 
     /// Flush one link's accumulated acknowledgements: drain the range
@@ -1689,8 +2114,21 @@ impl Fabric {
                 from_row
             };
             let to: Rank = li % self.n;
-            let mut retransmit: Vec<(u64, u32, Arc<Vec<u8>>, u32)> = Vec::new();
-            let mut exhausted: Vec<(u64, u32, bool)> = Vec::new();
+            // Recovery freeze: packets toward a killed-but-recoverable
+            // rank park in `unacked` instead of burning retries — the
+            // restore path replays them, so exhausting the budget here
+            // would both poison the restored window and fabricate TTG040s.
+            // Rows *from* the killed rank freeze too: their transmits are
+            // dropped anyway, the restore discards the entries, and the
+            // restored rank's re-executed tasks re-send the content.
+            if cs.recover.is_some()
+                && (cs.killed[to].load(Ordering::SeqCst)
+                    || (from_row < self.n && cs.killed[from_row].load(Ordering::SeqCst)))
+            {
+                continue;
+            }
+            let mut retransmit: Vec<(u64, u32, Arc<Vec<u8>>, u32, bool)> = Vec::new();
+            let mut exhausted: Vec<(u64, u32, bool, bool)> = Vec::new();
             {
                 let mut link = l.lock();
                 if link.unacked.is_empty() {
@@ -1707,18 +2145,18 @@ impl Fabric {
                     }
                     e.attempts += 1;
                     e.next_retry = now + cs.plan.retry.backoff(e.attempts + 1);
-                    retransmit.push((seq, e.handler, Arc::clone(&e.payload), e.attempts));
+                    retransmit.push((seq, e.handler, Arc::clone(&e.payload), e.attempts, e.replayed));
                 }
                 for seq in give_up {
                     let e = link.unacked.remove(&seq).unwrap();
-                    exhausted.push((seq, e.handler, e.delivered));
+                    exhausted.push((seq, e.handler, e.delivered, e.replayed));
                 }
             }
-            for (seq, handler, payload, attempt) in retransmit {
+            for (seq, handler, payload, attempt, replayed) in retransmit {
                 self.stats.am_retries.inc();
-                self.transmit(cs, from, to, handler, seq, &payload, attempt);
+                self.transmit(cs, from, to, handler, seq, &payload, attempt, replayed);
             }
-            for (seq, handler, delivered) in exhausted {
+            for (seq, handler, delivered, replayed) in exhausted {
                 // Claim the sequence number in the receiver's window: if
                 // the claim succeeds the packet was never (and will never
                 // be) logically delivered — report the loss and retire the
@@ -1727,7 +2165,11 @@ impl Fabric {
                 let row = self.link_row(from);
                 let claimed = !delivered && cs.windows[to].lock()[row].accept(seq);
                 if claimed {
-                    self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    if !replayed {
+                        // A restored entry's slot was already retired by
+                        // the restore scan; only live sends still hold one.
+                        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
                     self.stats.am_retry_exhausted.inc();
                     self.record_error(CommError {
                         kind: CommErrorKind::RetryBudgetExhausted,
@@ -1754,6 +2196,327 @@ impl Fabric {
     /// Number of packets sent but not yet fully processed.
     pub fn packets_in_flight(&self) -> usize {
         self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// The configured cross-process RMA fetch timeout.
+    pub fn rma_timeout(&self) -> Duration {
+        Duration::from_nanos(self.rma_timeout_ns.load(Ordering::SeqCst))
+    }
+
+    /// Override the cross-process RMA fetch timeout (`ExecConfig::rma_timeout`).
+    pub fn set_rma_timeout(&self, t: Duration) {
+        self.rma_timeout_ns
+            .store(t.as_nanos().min(u64::MAX as u128) as u64, Ordering::SeqCst);
+    }
+
+    /// Install the sink recovery snapshots persist through.
+    pub fn install_snapshot_sink(&self, sink: Arc<dyn SnapshotSink>) {
+        *self.snapshot_sink.lock() = Some(sink);
+    }
+
+    /// Whether the installed fault plan enables checkpoint/restore.
+    pub fn recovery_enabled(&self) -> bool {
+        self.chaos
+            .as_ref()
+            .is_some_and(|cs| cs.recover.is_some())
+    }
+
+    /// Snapshot cadence of the installed fault plan, in accepted packets
+    /// (`None` = recovery off).
+    pub fn snapshot_interval(&self) -> Option<u64> {
+        self.chaos.as_ref().and_then(|cs| cs.recover)
+    }
+
+    /// Whether rank-local logical sends must flow through the wire path
+    /// instead of short-circuiting into the matching table.
+    ///
+    /// Message-logging recovery is only sound if *every* logical message a
+    /// rank depends on is either captured in a snapshot or replayable from
+    /// a sender's log. A rank restored from an empty snapshot rebuilds its
+    /// state purely from replayed sends, so local seeds and loopback task
+    /// outputs must be sequenced on the diagonal link like any other
+    /// traffic. Remote mode recovers by job-level restart and keeps the
+    /// fast local path.
+    pub fn wire_local_sends(&self) -> bool {
+        self.recovery_enabled() && self.local_rank().is_none()
+    }
+
+    /// Whether rank `r` has accepted enough packets since its last
+    /// snapshot for a new one to be due.
+    pub fn snapshot_due(&self, r: Rank) -> bool {
+        let Some(cs) = &self.chaos else { return false };
+        let Some(every) = cs.recover else { return false };
+        !cs.killed[r].load(Ordering::SeqCst)
+            && cs.rx_packets[r].load(Ordering::SeqCst)
+                >= cs.last_snap[r].load(Ordering::SeqCst) + every
+    }
+
+    /// Ranks killed by script that recovery should bring back.
+    pub fn ranks_needing_recovery(&self) -> Vec<Rank> {
+        let Some(cs) = &self.chaos else { return Vec::new() };
+        if cs.recover.is_none() {
+            return Vec::new();
+        }
+        (0..self.n)
+            .filter(|&r| cs.killed[r].load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Export rank `r`'s comm-layer recovery state: incoming dedup
+    /// windows, packet counter, content logs, and outgoing link state
+    /// (seq counters + in-flight payloads). Called on `r`'s comm thread
+    /// between deliveries, with `r`'s worker pool idle — that pair of
+    /// conditions is the consistent cut (DESIGN §13).
+    pub fn export_rank_comm(&self, r: Rank, b: &mut WriteBuf) {
+        let Some(cs) = &self.chaos else { return };
+        {
+            let windows = cs.windows[r].lock();
+            b.put_u64(windows.len() as u64);
+            for w in windows.iter() {
+                w.export(b);
+            }
+        }
+        b.put_u64(cs.rx_packets[r].load(Ordering::SeqCst));
+        {
+            let logs = cs.content_logs[r].lock();
+            b.put_u64(logs.len() as u64);
+            for log in logs.iter() {
+                log.export(b);
+            }
+        }
+        b.put_u64(self.n as u64);
+        for t in 0..self.n {
+            cs.links[self.link_idx(r, t)].lock().export(b);
+        }
+    }
+
+    /// Persist a completed snapshot blob for rank `r` through the sink
+    /// and advance the rank's snapshot bookkeeping.
+    pub fn commit_snapshot(&self, r: Rank, blob: &[u8]) -> Result<(), String> {
+        let sink = self.snapshot_sink.lock().clone();
+        let Some(sink) = sink else {
+            return Err("no snapshot sink installed".into());
+        };
+        if let Err(e) = sink.store(r, blob) {
+            self.record_error(CommError {
+                kind: CommErrorKind::SnapshotFailed,
+                from: None,
+                to: Some(r),
+                handler: None,
+                seq: None,
+                detail: e.to_string(),
+            });
+            return Err(e.to_string());
+        }
+        if let Some(cs) = &self.chaos {
+            cs.last_snap[r].store(cs.rx_packets[r].load(Ordering::SeqCst), Ordering::SeqCst);
+            cs.accepted_since_snap[r].store(0, Ordering::SeqCst);
+            cs.sent_since_snap[r].store(0, Ordering::SeqCst);
+        }
+        self.stats.snapshots_taken.inc();
+        self.stats.snapshot_bytes.add(blob.len() as u64);
+        Ok(())
+    }
+
+    /// Load rank `r`'s last stored snapshot blob, if any.
+    pub fn load_snapshot(&self, r: Rank) -> Option<Vec<u8>> {
+        let sink = self.snapshot_sink.lock().clone()?;
+        sink.load(r).ok().flatten()
+    }
+
+    /// Restore rank `r`'s comm-layer state from a snapshot section
+    /// (`None` = restore to empty: valid, because the sender-side replay
+    /// logs cover the run from its first message), bump the rank's send
+    /// incarnation, clear its killed flag, and replay every logged
+    /// message toward it. The caller must have restored the rank's
+    /// matching tables first and verified its worker pool is idle.
+    pub fn restore_rank_comm(&self, r: Rank, section: Option<&[u8]>) -> Result<(), WireError> {
+        let Some(cs) = &self.chaos else {
+            return Err(WireError::new("restore without a fault plan"));
+        };
+        let now = Instant::now();
+        // Decode the snapshot (or synthesize empty state).
+        let mut windows: Vec<SeqWindow> = vec![SeqWindow::new(); self.n + 1];
+        let mut rx_packets = 0u64;
+        let mut logs: Vec<ContentLog> = (0..self.n + 1).map(|_| ContentLog::new()).collect();
+        let mut out_links: Vec<LinkTx> = (0..self.n).map(|_| LinkTx::default()).collect();
+        if let Some(bytes) = section {
+            let mut rd = ReadBuf::new(bytes);
+            let nw = rd.get_u64()? as usize;
+            windows = (0..nw)
+                .map(|_| SeqWindow::import(&mut rd))
+                .collect::<Result<_, _>>()?;
+            rx_packets = rd.get_u64()?;
+            let nl = rd.get_u64()? as usize;
+            logs = (0..nl)
+                .map(|_| ContentLog::import(&mut rd))
+                .collect::<Result<_, _>>()?;
+            let no = rd.get_u64()? as usize;
+            out_links = (0..no)
+                .map(|_| LinkTx::import(&mut rd, now))
+                .collect::<Result<_, _>>()?;
+        }
+        // New incarnation for the restored rank's outgoing rows. Every
+        // receiver's row for `r` is reset and moved to content-consult
+        // mode *here*, atomically with the in-flight retirement scan:
+        // the per-receiver step takes the same locks, in the same order,
+        // as `rx_accept_am` (`link_inc[t]` → `windows[t]` → `links`), so
+        // a message toward `t` classifies either entirely before or
+        // entirely after the surgery — never half-way.
+        let new_inc = cs.incarnations[r].fetch_add(1, Ordering::SeqCst) + 1;
+        let row_r = self.link_row(r);
+        // Ledger rule: a live logical send holds exactly one `in_flight`
+        // increment, retired exactly once — by `packet_processed`, by a
+        // content-dedup consume, by retry exhaustion, or here: any entry
+        // of the pre-crash `LinkTx` that is neither delivered (those
+        // settle through the receiver/ack path) nor replayed (restored
+        // entries were already retired by the scan that stranded them)
+        // is discarded with the dead link, so its increment is refunded
+        // now. Replay-marked copies are outside the ledger entirely
+        // (their accept pre-pays the decrement), so no compensation
+        // arithmetic is needed.
+        let mut retired = 0u64;
+        let mut out_links = out_links.into_iter();
+        for t in 0..self.n {
+            let restored = out_links.next().unwrap_or_default();
+            if t == r {
+                // Loopback: sender and receiver state are restored from
+                // the *same snapshot instant*, so the restored window
+                // dedups the restored link's retransmits exactly. The
+                // live pre-crash entries are discarded with the dead
+                // link (undelivered ones retired, like the cross-rank
+                // rows), and the rank's own row incarnation is bumped
+                // *without* resetting the window — the snapshot window
+                // is installed right below — so leftover pre-kill copies
+                // in this rank's own channel backlog classify stale and
+                // drop, while replayed and re-executed copies under the
+                // new incarnation classify Equal against snapshot state.
+                // The live raw-seq counter is kept: re-executed sends
+                // continue the raw space, so they can never collide with
+                // replayed old raws whose acks are still arriving.
+                let mut incs = cs.link_inc[r].lock();
+                if incs[row_r] < new_inc {
+                    incs[row_r] = new_inc;
+                }
+                let mut link = cs.links[self.link_idx(r, r)].lock();
+                retired += link
+                    .unacked
+                    .values()
+                    .filter(|e| !e.delivered && !e.replayed)
+                    .count() as u64;
+                let live_next = link.next_seq;
+                *link = restored;
+                link.next_seq = link.next_seq.max(live_next);
+                continue;
+            }
+            let mut incs = cs.link_inc[t].lock();
+            if incs[row_r] < new_inc {
+                incs[row_r] = new_inc;
+                cs.windows[t].lock()[row_r] = SeqWindow::new();
+            }
+            let mut link = cs.links[self.link_idx(r, t)].lock();
+            retired += link
+                .unacked
+                .values()
+                .filter(|e| !e.delivered && !e.replayed)
+                .count() as u64;
+            *link = restored;
+        }
+        self.in_flight.fetch_sub(retired as usize, Ordering::SeqCst);
+        // Install the restored receive-side state.
+        *cs.windows[r].lock() = windows;
+        cs.rx_packets[r].store(rx_packets, Ordering::SeqCst);
+        *cs.content_logs[r].lock() = logs;
+        cs.accepted_since_snap[r].store(0, Ordering::SeqCst);
+        cs.sent_since_snap[r].store(0, Ordering::SeqCst);
+        // Drop stale batched acks the dead incarnation owed or was owed.
+        for t in 0..self.n {
+            let _ = cs.pending_acks[self.link_idx(t, r)].lock().take();
+            let _ = cs.pending_acks[self.link_idx(r, t)].lock().take();
+        }
+        self.stats.restores.inc();
+        // Replay while `killed[r]` is still latched: replay-marked
+        // copies bypass the killed gate and fault injection, while any
+        // concurrent live send toward `r` still drops at the gate. With
+        // FIFO channel delivery this orders every replayed copy ahead
+        // of the first post-restore send toward `r`. The restored
+        // window dedups pre-snapshot seqs; the content log dedups
+        // re-executed duplicates.
+        let mut replayed = 0u64;
+        for source_row in 0..=self.n {
+            let li = source_row * self.n + r;
+            let from: Rank = if source_row == self.n {
+                usize::MAX
+            } else {
+                source_row
+            };
+            // Collect the log *before* scanning the live link below:
+            // `send_am` inserts the unacked entry before pushing the log,
+            // so any logged-but-unscanned send is also unmarked-and-live
+            // and settles through its own retransmit path — there is no
+            // interleaving where a send is both replayed here and left
+            // holding its in-flight slot.
+            let entries: Vec<(u64, u64, u32, Arc<Vec<u8>>)> = cs.replay_log[li]
+                .lock()
+                .iter()
+                .map(|e| (e.inc, e.seq, e.handler, Arc::clone(&e.payload)))
+                .collect();
+            if source_row != r {
+                // Peer (and sentinel-seed) sends toward `r` that never
+                // reached it: the replay just collected re-drives their
+                // content, so retire each one's in-flight slot and mark
+                // the entry replayed — its future retransmits carry the
+                // replay marker, window-dedup against the copy delivered
+                // below, and a later restore scan skips it.
+                let mut link = cs.links[li].lock();
+                for e in link.unacked.values_mut() {
+                    if !e.delivered && !e.replayed {
+                        e.replayed = true;
+                        retired += 1;
+                        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            for (inc, seq, handler, payload) in entries {
+                // Diagonal replays are re-packed under the rank's new
+                // incarnation: surgery bumped the rank's own row, so a
+                // copy under the logged (pre-crash) incarnation would be
+                // stale-dropped on arrival.
+                let inc = if source_row == r { new_inc } else { inc };
+                self.transmit_packed(
+                    cs,
+                    from,
+                    r,
+                    handler,
+                    pack_seq(inc, seq) | REPLAY_BIT,
+                    &payload,
+                    0,
+                );
+                replayed += 1;
+            }
+        }
+        self.stats.replayed_sends.add(replayed);
+        self.stats.recoveries.inc();
+        // Only now does the rank rejoin the live fabric.
+        cs.killed[r].store(false, Ordering::SeqCst);
+        self.recovery_log.lock().push(CommError {
+            kind: CommErrorKind::RankRecovered,
+            from: None,
+            to: Some(r),
+            handler: None,
+            seq: None,
+            detail: format!(
+                "restored from {} snapshot, replayed {replayed} logged sends, \
+                 retired {retired} undelivered pre-crash sends",
+                if section.is_some() { "last" } else { "no (empty)" },
+            ),
+        });
+        Ok(())
+    }
+
+    /// Drain the informational recovery events (TTG046).
+    pub fn take_recovery_events(&self) -> Vec<CommError> {
+        std::mem::take(&mut *self.recovery_log.lock())
     }
 
     /// Deliver a shutdown packet to every rank, stop the reliability
@@ -1863,7 +2626,8 @@ impl Fabric {
             self.record_error(CommError::from(err.clone()));
             return Err(err);
         }
-        match rx.recv_timeout(RMA_REMOTE_TIMEOUT) {
+        let rma_timeout = self.rma_timeout();
+        match rx.recv_timeout(rma_timeout) {
             Ok(Some(data)) => {
                 // The owning process fully accounts the RMA op; the caller
                 // counts only the bytes it took off its own wire.
@@ -1877,10 +2641,20 @@ impl Fabric {
             }
             Err(_) => {
                 rs.rma_waiters.lock().remove(&req);
-                let err = fail(format!(
-                    "no response within {RMA_REMOTE_TIMEOUT:?} (request {req})"
-                ));
-                self.record_error(CommError::from(err.clone()));
+                let err = RmaError::Timeout {
+                    caller,
+                    owner,
+                    id,
+                    waited: rma_timeout,
+                };
+                self.record_error(CommError {
+                    kind: CommErrorKind::RmaTimeout,
+                    from: Some(caller),
+                    to: Some(owner),
+                    handler: None,
+                    seq: None,
+                    detail: format!("rma request {req} expired after {rma_timeout:?}"),
+                });
                 Err(err)
             }
         }
@@ -2598,7 +3372,7 @@ mod tests {
     }
 
     #[test]
-    fn remote_spec_rejects_fault_plans() {
+    fn remote_spec_rejects_probabilistic_fault_plans() {
         // Build a 2-process-style endpoint pair in-process via the
         // transport's own mesh to get a RemoteHandle-shaped spec.
         let reg = Arc::new(Registry::new());
@@ -2609,15 +3383,94 @@ mod tests {
         };
         let res = Fabric::with_transport(
             2,
-            Some(FaultPlan::seeded(1)),
+            Some(FaultPlan::seeded(1).with_drop(0.05)),
             &TransportSpec::Remote(handle),
         );
         let err = match res {
-            Ok(_) => panic!("fault plan over remote must be refused"),
+            Ok(_) => panic!("probabilistic fault plan over remote must be refused"),
             Err(e) => e,
         };
         assert_eq!(err.kind, CommErrorKind::TransportFailure);
         assert_eq!(err.code(), "TTG045");
+        for ep in &eps {
+            ep.shutdown();
+        }
+    }
+
+    #[test]
+    fn remote_spec_accepts_kill_scripts_but_not_kill_zero() {
+        let reg = Arc::new(Registry::new());
+        let eps = ttg_transport::local_mesh(ttg_transport::TransportKind::Tcp, 2, &reg).unwrap();
+        let handle = ttg_transport::RemoteHandle {
+            endpoint: Arc::clone(&eps[1]) as Arc<dyn Endpoint>,
+            registry: Arc::clone(&reg),
+        };
+        // kill=1@n on a real process-shaped endpoint is accepted...
+        let f = Fabric::with_transport(
+            2,
+            Some(FaultPlan::seeded(1).with_kill(1, 1_000_000)),
+            &TransportSpec::Remote(handle.clone()),
+        )
+        .expect("kill-only plan must be accepted in remote mode");
+        f.shutdown_all();
+        // ...but killing the coordinator is refused with a clear TTG045.
+        let res = Fabric::with_transport(
+            2,
+            Some(FaultPlan::seeded(1).with_kill(0, 5)),
+            &TransportSpec::Remote(handle),
+        );
+        let err = res.err().expect("kill=0 must be refused");
+        assert_eq!(err.code(), "TTG045");
+        assert!(err.detail.contains("rank 0"), "{}", err.detail);
+        for ep in &eps {
+            ep.shutdown();
+        }
+    }
+
+    #[test]
+    fn rma_timeout_is_configurable_and_structured() {
+        // Rank 0's fabric fetches from rank 1, whose endpoint exists (the
+        // mesh handshake completes) but has no fabric attached — so no
+        // RmaResp ever arrives and the configured timeout must expire as
+        // a structured TTG049, never a hang or a panic.
+        let reg = Arc::new(Registry::new());
+        let eps = ttg_transport::local_mesh(ttg_transport::TransportKind::Tcp, 2, &reg).unwrap();
+        let handle = ttg_transport::RemoteHandle {
+            endpoint: Arc::clone(&eps[0]) as Arc<dyn Endpoint>,
+            registry: Arc::clone(&reg),
+        };
+        let f = Fabric::with_transport(2, None, &TransportSpec::Remote(handle)).unwrap();
+        assert_eq!(
+            f.rma_timeout(),
+            RMA_REMOTE_TIMEOUT,
+            "default timeout must be the historical constant"
+        );
+        f.set_rma_timeout(Duration::from_millis(50));
+        let start = Instant::now();
+        let err = f.rma_get(0, 1, 7).expect_err("silent owner must time out");
+        assert!(
+            matches!(
+                err,
+                RmaError::Timeout {
+                    caller: 0,
+                    owner: 1,
+                    id: 7,
+                    ..
+                }
+            ),
+            "got: {err}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "expiry must honor the configured timeout, not the default"
+        );
+        let errs = f.take_errors();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert_eq!(errs[0].kind, CommErrorKind::RmaTimeout);
+        assert_eq!(errs[0].code(), "TTG049");
+        assert_eq!(errs[0].from, Some(0));
+        assert_eq!(errs[0].to, Some(1));
+        f.shutdown_all();
         for ep in &eps {
             ep.shutdown();
         }

@@ -120,6 +120,12 @@ pub struct FaultPlan {
     /// How long a pending batched ack may wait for a piggyback ride
     /// before the progress thread flushes it anyway.
     pub ack_flush: Duration,
+    /// Checkpoint/restore recovery: `Some(n)` snapshots each rank's state
+    /// every `n` accepted packets and, when a kill script fires, restores
+    /// the rank from its last snapshot and replays logged messages instead
+    /// of reporting retry-budget exhaustion. `None` (the default) keeps
+    /// the PR 5 fail-and-report behavior.
+    pub recover: Option<u64>,
 }
 
 impl FaultPlan {
@@ -137,6 +143,7 @@ impl FaultPlan {
             retry: RetryPolicy::default(),
             immediate_acks: false,
             ack_flush: Duration::from_micros(100),
+            recover: None,
         }
     }
 
@@ -190,6 +197,22 @@ impl FaultPlan {
     pub fn with_ack_flush(mut self, flush: Duration) -> Self {
         self.ack_flush = flush;
         self
+    }
+
+    /// Enable checkpoint/restore recovery, snapshotting each rank every
+    /// `every_packets` accepted packets.
+    pub fn with_recovery(mut self, every_packets: u64) -> Self {
+        self.recover = Some(every_packets.max(1));
+        self
+    }
+
+    /// Whether the plan's only faults are targeted kills — no
+    /// probabilistic link faults. Remote (multi-process) mode accepts
+    /// exactly this shape: a real OS process can be killed and respawned,
+    /// but per-packet dice have no consistent meaning across a socket the
+    /// kernel already delivers reliably.
+    pub fn is_kill_only(&self) -> bool {
+        self.drop == 0.0 && self.dup == 0.0 && self.reorder == 0.0 && self.delay == 0.0
     }
 
     /// Whether the plan injects any fault at all (a pure reliable-layer
@@ -270,6 +293,13 @@ impl FaultPlan {
                     plan.retry.base = Duration::from_micros(
                         v.parse()
                             .map_err(|_| format!("fault spec: bad rto_us `{v}`"))?,
+                    )
+                }
+                "recover" => {
+                    plan.recover = Some(
+                        v.parse::<u64>()
+                            .map_err(|_| format!("fault spec: bad recover interval `{v}`"))?
+                            .max(1),
                     )
                 }
                 "acks" => match v {

@@ -27,6 +27,7 @@ pub mod buf;
 pub mod fabric;
 pub mod fault;
 pub mod lockdoc;
+pub mod recover;
 pub mod reliable;
 pub mod wire;
 
@@ -42,6 +43,7 @@ pub use fabric::{
 };
 pub use fault::{FaultPlan, KillScript, RetryPolicy};
 pub use pool::{pool_stats, PoolStats};
+pub use recover::{FileSnapshotSink, MemorySnapshotSink, SharedSnapshotSink, SnapshotSink};
 pub use reliable::SeqWindow;
 // Link-layer selection re-exported so executors and apps need no direct
 // ttg-transport dependency (DESIGN §9).

@@ -385,7 +385,25 @@ impl<K: Key, V: Data> ConsumerPort<K, V> for PortImpl<K, V> {
         }
 
         if !local.is_empty() {
-            self.deliver_local(&node, src_rank, &local, v, from_task, src_rank, ctx);
+            if ctx.fabric.wire_local_sends() {
+                // Recovery is on: loopback sends must be sequenced and
+                // replay-logged on the diagonal link, so serialize through
+                // the inline wire protocol instead of inserting directly.
+                // A shared broadcast reuses the frozen slab across ports.
+                let value_bytes: Arc<Vec<u8>> = match &v {
+                    FanoutVal::Shared(x, cache) => cache.bytes(|| {
+                        ctx.fabric.count_serialization();
+                        ttg_comm::to_bytes(&**x)
+                    }),
+                    FanoutVal::Owned(x) => {
+                        ctx.fabric.count_serialization();
+                        Arc::new(ttg_comm::to_bytes(x))
+                    }
+                };
+                self.send_inline(&node, src_rank, &local, &value_bytes, from_task, src_rank, ctx);
+            } else {
+                self.deliver_local(&node, src_rank, &local, v, from_task, src_rank, ctx);
+            }
         }
     }
 
@@ -416,7 +434,7 @@ pub(crate) fn port_set_stream_size<K: Key>(
     ctx: &Arc<RuntimeCtx>,
 ) {
     let owner = node.owner(k, ctx.n_ranks());
-    if owner == src_rank {
+    if owner == src_rank && !ctx.fabric.wire_local_sends() {
         node.set_stream_size(owner, terminal as usize, k.clone(), n, ctx);
     } else {
         // header(11) + key + size(8).
@@ -438,7 +456,7 @@ pub(crate) fn port_finalize<K: Key>(
     ctx: &Arc<RuntimeCtx>,
 ) {
     let owner = node.owner(k, ctx.n_ranks());
-    if owner == src_rank {
+    if owner == src_rank && !ctx.fabric.wire_local_sends() {
         node.finalize_stream(owner, terminal as usize, k.clone(), ctx);
     } else {
         // header(11) + key.
@@ -463,6 +481,23 @@ pub(crate) fn port_seed<K: Key, V: Data>(
     // seed loop, and each keeps only the keys its own rank owns — the
     // other processes seed theirs themselves.
     if !ctx.is_local(owner) {
+        return;
+    }
+    if ctx.fabric.wire_local_sends() {
+        // Seeds are logical messages too: under recovery they must be
+        // sequenced on the owner's diagonal link so an empty-snapshot
+        // restore can re-drive them from the replay log.
+        let value_bytes = ttg_comm::to_bytes(&v);
+        ctx.fabric.count_serialization();
+        let mut b = WriteBuf::pooled(23 + k.wire_size() + value_bytes.len());
+        am_header(&mut b, 0, MSG_DATA_INLINE, terminal);
+        b.put_u64(owner as u64);
+        b.put_u32(1);
+        k.encode(&mut b);
+        b.put_bytes(&value_bytes);
+        if let Err(e) = ctx.fabric.send_am(owner, owner, node.id, b.into_vec()) {
+            ctx.fabric.record_error(e.into());
+        }
         return;
     }
     node.insert(

@@ -12,7 +12,10 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ttg_comm::{CommError, CommErrorKind, Fabric, FaultPlan, Packet, StatsSnapshot, TransportSpec};
+use ttg_comm::{
+    CommError, CommErrorKind, Fabric, FaultPlan, FileSnapshotSink, MemorySnapshotSink, Packet,
+    ReadBuf, SharedSnapshotSink, StatsSnapshot, TransportSpec, WireError, WriteBuf,
+};
 use ttg_runtime::WorkerPool;
 
 use crate::backend::BackendSpec;
@@ -21,7 +24,7 @@ use crate::graph::Graph;
 use crate::trace::TaskEvent;
 
 /// Execution parameters.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ExecConfig {
     /// Number of logical ranks ("processes").
     pub ranks: usize,
@@ -46,6 +49,33 @@ pub struct ExecConfig {
     /// fault injector's splitmix64 streams — for reproducible benchmark
     /// runs; `None` (default) keeps OS entropy.
     pub sched_seed: Option<u64>,
+    /// Deadline for one-sided remote RMA fetches. `None` keeps the fabric
+    /// default (30 s); a recovering job should set this well below the
+    /// delivery deadline so a respawning rank surfaces as a structured
+    /// `RmaTimeout` instead of stalling peers.
+    pub rma_timeout: Option<Duration>,
+    /// Where recovery snapshots are persisted when the fault plan enables
+    /// checkpointing. `None` picks a default: the launch directory's
+    /// file sink for a multi-process rank (`TTG_LAUNCH_DIR`), an
+    /// in-memory sink otherwise.
+    pub snapshot_sink: Option<SharedSnapshotSink>,
+}
+
+impl std::fmt::Debug for ExecConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecConfig")
+            .field("ranks", &self.ranks)
+            .field("workers_per_rank", &self.workers_per_rank)
+            .field("backend", &self.backend)
+            .field("trace", &self.trace)
+            .field("faults", &self.faults)
+            .field("delivery_deadline", &self.delivery_deadline)
+            .field("transport", &self.transport)
+            .field("sched_seed", &self.sched_seed)
+            .field("rma_timeout", &self.rma_timeout)
+            .field("snapshot_sink", &self.snapshot_sink.is_some())
+            .finish()
+    }
 }
 
 impl ExecConfig {
@@ -61,6 +91,8 @@ impl ExecConfig {
             delivery_deadline: None,
             transport: TransportSpec::InProc,
             sched_seed: None,
+            rma_timeout: None,
+            snapshot_sink: None,
         }
     }
 
@@ -75,6 +107,8 @@ impl ExecConfig {
             delivery_deadline: None,
             transport: TransportSpec::InProc,
             sched_seed: None,
+            rma_timeout: None,
+            snapshot_sink: None,
         }
     }
 
@@ -112,6 +146,20 @@ impl ExecConfig {
         self.sched_seed = Some(seed);
         self
     }
+
+    /// Set the one-sided RMA fetch deadline (see
+    /// [`ExecConfig::rma_timeout`]).
+    pub fn with_rma_timeout(mut self, t: Duration) -> Self {
+        self.rma_timeout = Some(t);
+        self
+    }
+
+    /// Install a snapshot sink for checkpoint/restore recovery (see
+    /// [`ExecConfig::snapshot_sink`]).
+    pub fn with_snapshot_sink(mut self, sink: SharedSnapshotSink) -> Self {
+        self.snapshot_sink = Some(sink);
+        self
+    }
 }
 
 /// Summary of one execution.
@@ -141,6 +189,10 @@ pub struct ExecReport {
     /// budgets exhausted on dead links, post-shutdown sends, delivery
     /// errors, deadline misses. Empty on a healthy run.
     pub comm_errors: Vec<CommError>,
+    /// Informational recovery events (TTG046 `RankRecovered`): one per
+    /// successful checkpoint restore. Kept out of `comm_errors` so a
+    /// recovered run still reads as healthy.
+    pub recovery_events: Vec<CommError>,
 }
 
 /// A running TTG execution.
@@ -164,6 +216,24 @@ impl Executor {
     pub fn new(graph: Graph, cfg: ExecConfig) -> Self {
         let fabric = Fabric::with_transport(cfg.ranks, cfg.faults.clone(), &cfg.transport)
             .unwrap_or_else(|e| panic!("transport bring-up failed: {e}"));
+        if let Some(t) = cfg.rma_timeout {
+            fabric.set_rma_timeout(t);
+        }
+        if fabric.recovery_enabled() {
+            let sink = cfg.snapshot_sink.clone().unwrap_or_else(|| {
+                // Multi-process ranks default to the launch directory so
+                // snapshots survive the process they describe; in-process
+                // recovery restores within one address space and needs no
+                // filesystem traffic.
+                match std::env::var("TTG_LAUNCH_DIR") {
+                    Ok(dir) if fabric.local_rank().is_some() => {
+                        Arc::new(FileSnapshotSink::new(dir)) as SharedSnapshotSink
+                    }
+                    _ => Arc::new(MemorySnapshotSink::new()) as SharedSnapshotSink,
+                }
+            });
+            fabric.install_snapshot_sink(sink);
+        }
         let ctx = RuntimeCtx::new(Arc::clone(&fabric), cfg.backend.clone(), cfg.trace);
 
         // A multi-process rank hosts only its own pool and comm thread;
@@ -212,6 +282,7 @@ impl Executor {
         // One communication/progress thread per hosted rank: the analog
         // of the backends' AM server / communication thread.
         let mut comm_threads = Vec::with_capacity(local_ranks.len());
+        let remote = fabric.local_rank().is_some();
         for r in local_ranks {
             let rx = fabric.take_receiver(r);
             let ctx2 = Arc::clone(&ctx);
@@ -219,6 +290,10 @@ impl Executor {
                 std::thread::Builder::new()
                     .name(format!("comm-{r}"))
                     .spawn(move || {
+                        // Remote ranks count delivered AMs themselves: the
+                        // chaos packet counter only ticks for sequenced
+                        // in-process traffic.
+                        let mut rx_since_snap: u64 = 0;
                         while let Ok(pkt) = rx.recv() {
                             match pkt {
                                 Packet::Am {
@@ -231,8 +306,10 @@ impl Executor {
                                     // (injected, retransmitted, reordered
                                     // strays) are discarded here and never
                                     // reach a task — nor the logical
-                                    // in-flight count.
-                                    if !ctx2.fabric.rx_accept(r, from, seq) {
+                                    // in-flight count. The payload rides
+                                    // along so recovery-enabled fabrics can
+                                    // maintain their delivered-content log.
+                                    if !ctx2.fabric.rx_accept_am(r, from, seq, handler, &payload) {
                                         ttg_comm::pool::recycle(payload);
                                         continue;
                                     }
@@ -258,6 +335,41 @@ impl Executor {
                                     // Hand the AM buffer back to the wire
                                     // buffer pool for the next send.
                                     ttg_comm::pool::recycle(payload);
+                                    // Checkpoint trigger: between deliveries
+                                    // on this rank's only delivery thread,
+                                    // with the worker pool drained — the
+                                    // consistent cut (DESIGN §13).
+                                    if let Some(every) = ctx2.fabric.snapshot_interval() {
+                                        let due = if remote {
+                                            rx_since_snap += 1;
+                                            rx_since_snap >= every
+                                        } else {
+                                            ctx2.fabric.snapshot_due(r)
+                                        };
+                                        // The delivery that made the snapshot
+                                        // due usually readied tasks, so give
+                                        // the pool a bounded drain window.
+                                        // Tasks never block on this thread —
+                                        // waiting cannot deadlock; at worst
+                                        // the pool stays busy and the next
+                                        // delivery retries.
+                                        if due {
+                                            let drain = Instant::now()
+                                                + Duration::from_micros(500);
+                                            loop {
+                                                if ctx2.pool(r).is_idle() {
+                                                    if take_snapshot(&ctx2, r) {
+                                                        rx_since_snap = 0;
+                                                    }
+                                                    break;
+                                                }
+                                                if Instant::now() >= drain {
+                                                    break;
+                                                }
+                                                std::thread::yield_now();
+                                            }
+                                        }
+                                    }
                                 }
                                 Packet::Shutdown => break,
                             }
@@ -306,6 +418,14 @@ impl Executor {
         }
         let give_up = self.deadline.map(|d| Instant::now() + d);
         loop {
+            // Recovery watchdog: a script-killed rank is restored once its
+            // pool drains (kill only severs its links — queued tasks still
+            // run to completion, and their sends were already dropped).
+            for r in self.ctx.fabric.ranks_needing_recovery() {
+                if self.ctx.pool(r).is_idle() {
+                    recover_rank(&self.ctx, r);
+                }
+            }
             if self.ctx.fabric.packets_in_flight() == 0 && self.ctx.quiescence.is_quiescent() {
                 // Confirm: no packet appeared while probing the pools.
                 if self.ctx.fabric.packets_in_flight() == 0 && self.ctx.quiescence.is_quiescent() {
@@ -413,6 +533,82 @@ impl Executor {
             violations: self.ctx.sanitizer.take(),
             stuck,
             comm_errors: self.ctx.fabric.take_errors(),
+            recovery_events: self.ctx.fabric.take_recovery_events(),
         }
+    }
+}
+
+/// Compose and persist one recovery snapshot for rank `r`: the comm-layer
+/// section first, then one length-prefixed matching-table section per
+/// node. Returns whether the snapshot was committed; failures are recorded
+/// as structured TTG047 diagnostics, never panics.
+fn take_snapshot(ctx: &Arc<RuntimeCtx>, r: usize) -> bool {
+    let nodes = ctx.nodes.get().expect("graph not attached");
+    let mut blob = WriteBuf::new();
+    let mut comm = WriteBuf::new();
+    ctx.fabric.export_rank_comm(r, &mut comm);
+    blob.put_len_bytes(comm.as_slice());
+    blob.put_u32(nodes.len() as u32);
+    for node in nodes {
+        let mut sect = WriteBuf::new();
+        if let Err(e) = node.export_rank(r, &mut sect) {
+            ctx.fabric.record_error(CommError {
+                kind: CommErrorKind::SnapshotFailed,
+                from: None,
+                to: Some(r),
+                handler: Some(node.node_id()),
+                seq: None,
+                detail: format!("matching-table export of {} failed: {e}", node.node_name()),
+            });
+            return false;
+        }
+        blob.put_len_bytes(sect.as_slice());
+    }
+    ctx.fabric.commit_snapshot(r, blob.as_slice()).is_ok()
+}
+
+/// Restore rank `r` in place: re-import its matching tables (or clear
+/// them when no snapshot was ever committed), then restore the comm layer
+/// and replay logged sends. Failures become structured TTG048
+/// diagnostics and leave the rank dead — degraded, not panicked.
+fn recover_rank(ctx: &Arc<RuntimeCtx>, r: usize) {
+    let nodes = ctx.nodes.get().expect("graph not attached");
+    let blob = ctx.fabric.load_snapshot(r);
+    let result: Result<(), WireError> = (|| match &blob {
+        Some(bytes) => {
+            let mut rd = ReadBuf::new(bytes);
+            let comm = rd.get_len_bytes()?;
+            let n_nodes = rd.get_u32()? as usize;
+            if n_nodes != nodes.len() {
+                return Err(WireError::new(format!(
+                    "snapshot names {n_nodes} nodes but the graph has {}",
+                    nodes.len()
+                )));
+            }
+            for node in nodes {
+                let sect = rd.get_len_bytes()?;
+                node.import_rank(r, &mut ReadBuf::new(sect))?;
+            }
+            ctx.fabric.restore_rank_comm(r, Some(comm))
+        }
+        None => {
+            // No snapshot yet: restore to empty. The sender-side replay
+            // logs cover the run from its first message, so this is pure
+            // message-logging recovery.
+            for node in nodes {
+                node.clear_rank(r);
+            }
+            ctx.fabric.restore_rank_comm(r, None)
+        }
+    })();
+    if let Err(e) = result {
+        ctx.fabric.record_error(CommError {
+            kind: CommErrorKind::RecoveryFailed,
+            from: None,
+            to: Some(r),
+            handler: None,
+            seq: None,
+            detail: format!("restore of rank {r} failed: {e}"),
+        });
     }
 }

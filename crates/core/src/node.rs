@@ -68,6 +68,14 @@ pub struct InputMeta {
     /// deliveries in `Share` local-pass mode: piggybacked consumers alias
     /// one allocation instead of each receiving a deep copy).
     pub to_shared: Arc<dyn Fn(Box<dyn Any + Send>) -> Arc<dyn Any + Send + Sync> + Send + Sync>,
+    /// Re-encode a live slot value in place (checkpoint export). Fails on a
+    /// type mismatch, which aborts the snapshot attempt gracefully.
+    pub encode: Arc<dyn Fn(&ErasedVal, &mut WriteBuf) -> Result<(), WireError> + Send + Sync>,
+    /// Re-encode a stream accumulator (checkpoint export). Fails when the
+    /// accumulator type differs from the terminal's wire type — such
+    /// terminals make the owning rank unsnapshottable, not broken.
+    pub encode_boxed:
+        Arc<dyn Fn(&(dyn Any + Send), &mut WriteBuf) -> Result<(), WireError> + Send + Sync>,
 }
 
 /// State of one input terminal for one pending task ID.
@@ -353,6 +361,13 @@ pub trait AnyNode: Send + Sync {
     /// Detailed view of every partially matched key still pending across
     /// all ranks: the stuck-key deadlock report.
     fn pending_detail(&self) -> Vec<StuckEntry>;
+    /// Serialize rank `rank`'s matching-table state into `b` (checkpoint
+    /// section; DESIGN §13). Fails when a live slot cannot be re-encoded.
+    fn export_rank(&self, rank: usize, b: &mut WriteBuf) -> Result<(), WireError>;
+    /// Replace rank `rank`'s matching-table state with the snapshot in `r`.
+    fn import_rank(&self, rank: usize, r: &mut ReadBuf<'_>) -> Result<(), WireError>;
+    /// Drop rank `rank`'s matching-table state (restore-to-empty path).
+    fn clear_rank(&self, rank: usize);
 }
 
 type InvokeFn<K> = Arc<dyn Fn(K, Vec<ErasedVal>, u64, usize, &Arc<RuntimeCtx>) + Send + Sync>;
@@ -1023,6 +1038,130 @@ impl<K: Key> AnyNode for NodeInner<K> {
             }
         }
         out
+    }
+
+    fn export_rank(&self, rank: usize, b: &mut WriteBuf) -> Result<(), WireError> {
+        let table = &self.tables.get().expect("node not attached")[rank];
+        // Entry count first; the comm thread only snapshots while the
+        // rank's worker pool is idle, so the count cannot change between
+        // the two passes.
+        let total: usize = table.shards.iter().map(|s| s.lock().len()).sum();
+        b.put_u64(total as u64);
+        for shard in &table.shards {
+            let shard = shard.lock();
+            for (k, e) in shard.iter() {
+                k.encode(b);
+                b.put_u32(e.deps.len() as u32);
+                for d in &e.deps {
+                    b.put_u64(d.from_task);
+                    b.put_u64(d.bytes);
+                    b.put_u64(d.src_rank as u64);
+                    b.put_u64(d.msg);
+                }
+                let slots = e.slots.as_slice();
+                b.put_u16(slots.len() as u16);
+                for (t, s) in slots.iter().enumerate() {
+                    match s {
+                        SlotE::Empty => b.put_u8(0),
+                        SlotE::Plain(v) => {
+                            b.put_u8(1);
+                            (self.metas[t].encode)(v, b)?;
+                        }
+                        SlotE::Stream {
+                            acc,
+                            received,
+                            expected,
+                            finalized,
+                        } => {
+                            b.put_u8(2);
+                            match acc {
+                                Some(a) => {
+                                    b.put_u8(1);
+                                    (self.metas[t].encode_boxed)(a.as_ref(), b)?;
+                                }
+                                None => b.put_u8(0),
+                            }
+                            b.put_u64(*received as u64);
+                            match expected {
+                                Some(n) => {
+                                    b.put_u8(1);
+                                    b.put_u64(*n as u64);
+                                }
+                                None => b.put_u8(0),
+                            }
+                            b.put_u8(*finalized as u8);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn import_rank(&self, rank: usize, r: &mut ReadBuf<'_>) -> Result<(), WireError> {
+        self.clear_rank(rank);
+        let table = &self.tables.get().expect("node not attached")[rank];
+        let total = r.get_u64()?;
+        for _ in 0..total {
+            let k = K::decode(r)?;
+            let ndeps = r.get_u32()? as usize;
+            let mut deps = Vec::with_capacity(ndeps);
+            for _ in 0..ndeps {
+                deps.push(Dep {
+                    from_task: r.get_u64()?,
+                    bytes: r.get_u64()?,
+                    src_rank: r.get_u64()? as usize,
+                    msg: r.get_u64()?,
+                });
+            }
+            let nslots = r.get_u16()? as usize;
+            if nslots > self.n_inputs {
+                return Err(WireError::new(format!(
+                    "snapshot names {} terminals but {} has {}",
+                    nslots, self.name, self.n_inputs
+                )));
+            }
+            let mut entry = PendingE::new(self.n_inputs);
+            entry.deps = deps;
+            for t in 0..nslots {
+                let slot = entry.slots.get_mut(t);
+                match r.get_u8()? {
+                    0 => {}
+                    1 => *slot = SlotE::Plain(ErasedVal::Owned((self.metas[t].decode)(r)?)),
+                    2 => {
+                        let acc = if r.get_u8()? == 1 {
+                            Some((self.metas[t].decode)(r)?)
+                        } else {
+                            None
+                        };
+                        let received = r.get_u64()? as usize;
+                        let expected = if r.get_u8()? == 1 {
+                            Some(r.get_u64()? as usize)
+                        } else {
+                            None
+                        };
+                        let finalized = r.get_u8()? == 1;
+                        *slot = SlotE::Stream {
+                            acc,
+                            received,
+                            expected,
+                            finalized,
+                        };
+                    }
+                    t => return Err(WireError::new(format!("bad slot tag {t} in snapshot"))),
+                }
+            }
+            table.shard(&k).lock().insert(k, entry);
+        }
+        Ok(())
+    }
+
+    fn clear_rank(&self, rank: usize) {
+        if let Some(tables) = self.tables.get() {
+            for shard in &tables[rank].shards {
+                shard.lock().clear();
+            }
+        }
     }
 }
 

@@ -8,7 +8,7 @@
 use std::any::Any;
 use std::sync::Arc;
 
-use ttg_comm::{ReadBuf, WireError};
+use ttg_comm::{ReadBuf, WireError, WriteBuf};
 
 use crate::ctx::RuntimeCtx;
 use crate::edge::{Edge, OutTerm, PortImpl};
@@ -33,6 +33,17 @@ pub fn meta_for<V: Data>() -> InputMeta {
         to_shared: Arc::new(|b: Box<dyn Any + Send>| {
             let v = b.downcast::<V>().expect("to_shared type mismatch");
             Arc::new(*v) as Arc<dyn Any + Send + Sync>
+        }),
+        encode: Arc::new(|ev: &ErasedVal, b: &mut WriteBuf| {
+            ev.with_ref::<V, _>(|v| v.encode(b))
+                .ok_or_else(|| WireError::new("snapshot: slot value type mismatch"))
+        }),
+        encode_boxed: Arc::new(|a: &(dyn Any + Send), b: &mut WriteBuf| {
+            let v = a.downcast_ref::<V>().ok_or_else(|| {
+                WireError::new("snapshot: stream accumulator is not the terminal's wire type")
+            })?;
+            v.encode(b);
+            Ok(())
         }),
     }
 }

@@ -186,6 +186,30 @@ impl ErasedVal {
         let (v, copied) = self.take::<V>()?;
         Some((Box::new(v), copied))
     }
+
+    /// Borrow the concrete value without consuming the handle (the
+    /// checkpoint encoder walks live matching-table slots in place).
+    /// Returns `None` on a type mismatch.
+    pub fn with_ref<V: Data, R>(&self, f: impl FnOnce(&V) -> R) -> Option<R> {
+        match self {
+            ErasedVal::Owned(b) => b.downcast_ref::<V>().map(f),
+            ErasedVal::Shared(arc) => arc.downcast_ref::<V>().map(f),
+            ErasedVal::Small(s) => {
+                if s.tid == std::any::TypeId::of::<V>() {
+                    // SAFETY: TypeId matches the type written in `erase`.
+                    // The unaligned copy is wrapped in `ManuallyDrop` so the
+                    // value is never dropped twice (`V` has no drop glue
+                    // anyway — `erase` only inlines such types).
+                    let v = std::mem::ManuallyDrop::new(unsafe {
+                        (s.bytes.as_ptr() as *const V).read_unaligned()
+                    });
+                    Some(f(&v))
+                } else {
+                    None
+                }
+            }
+        }
+    }
 }
 
 impl fmt::Debug for ErasedVal {

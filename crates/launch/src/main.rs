@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
 use std::time::{Duration, Instant};
 
-use ttg_comm::TransportSpec;
+use ttg_comm::{FaultPlan, TransportSpec};
 use ttg_linalg::{Dist2D, Tile, TiledMatrix};
 use ttg_sparse::{generate, YukawaParams};
 use ttg_transport::{RemoteHandle, TransportKind};
@@ -34,6 +34,7 @@ const ENV_APP: &str = "TTG_LAUNCH_APP";
 const ENV_WORKERS: &str = "TTG_LAUNCH_WORKERS";
 const ENV_NT: &str = "TTG_LAUNCH_NT";
 const ENV_NB: &str = "TTG_LAUNCH_NB";
+const ENV_FAULTS: &str = "TTG_LAUNCH_FAULTS";
 
 /// Seed shared by every process so parent and children build the same input.
 const INPUT_SEED: u64 = 42;
@@ -56,12 +57,20 @@ struct Opts {
     nt: usize,
     nb: usize,
     timeout: Duration,
+    /// Fault spec forwarded verbatim to every child (`FaultPlan::parse`
+    /// syntax). Remote mode accepts targeted `kill=r@n` scripts only;
+    /// probabilistic faults are refused up front — the fabric would
+    /// reject them with a TTG045 anyway, but failing in the parent gives
+    /// one clear message instead of N child stack traces.
+    faults: String,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: ttg-launch [--ranks N] [--workers W] [--transport tcp|uds] \
-         [--nt T] [--nb B] [--timeout-secs S] {{cholesky|bspmm}}"
+         [--nt T] [--nb B] [--timeout-secs S] [--faults SPEC] {{cholesky|bspmm}}\n\
+         SPEC is FaultPlan syntax, e.g. seed=7,kill=1@200,recover=64 — \
+         remote mode accepts kill=r@n scripts only (no drop/dup/reorder/delay)"
     );
     std::process::exit(2);
 }
@@ -75,6 +84,7 @@ fn parse_opts() -> Opts {
         nt: 8,
         nb: 16,
         timeout: Duration::from_secs(240),
+        faults: String::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -92,6 +102,7 @@ fn parse_opts() -> Opts {
             "--timeout-secs" => {
                 opts.timeout = Duration::from_secs(parse_num(&take("--timeout-secs")) as u64)
             }
+            "--faults" => opts.faults = take("--faults"),
             "--transport" => {
                 let v = take("--transport");
                 match TransportKind::parse(&v) {
@@ -118,7 +129,48 @@ fn parse_opts() -> Opts {
         eprintln!("--ranks must be at least 1");
         usage();
     }
+    if !opts.faults.is_empty() {
+        match FaultPlan::parse(&opts.faults) {
+            Err(e) => {
+                eprintln!("ttg-launch: {e}");
+                usage();
+            }
+            Ok(plan) => {
+                if !plan.is_kill_only() {
+                    eprintln!(
+                        "ttg-launch: probabilistic faults (drop/dup/reorder/delay) have no \
+                         meaning over a kernel-reliable socket and are refused in remote \
+                         mode (TTG045); use kill=r@n scripts"
+                    );
+                    usage();
+                }
+                if plan.kills.iter().any(|k| k.rank == 0) {
+                    eprintln!(
+                        "ttg-launch: kill=0 is not recoverable in remote mode: rank 0 \
+                         coordinates the job (TTG045)"
+                    );
+                    usage();
+                }
+                if let Some(k) = plan.kills.iter().find(|k| k.rank >= opts.ranks) {
+                    eprintln!(
+                        "ttg-launch: kill={}@{} targets a rank outside --ranks {}",
+                        k.rank, k.after_packets, opts.ranks
+                    );
+                    usage();
+                }
+            }
+        }
+    }
     opts
+}
+
+/// The fault spec with every `kill=` field removed: the relaunched job
+/// must not re-fire the script and die again.
+fn strip_kills(spec: &str) -> String {
+    spec.split(',')
+        .filter(|f| !f.trim_start().starts_with("kill="))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 fn parse_num(s: &str) -> usize {
@@ -148,64 +200,45 @@ fn parent_main() {
         dir.display()
     );
 
-    let mut children: Vec<Child> = Vec::with_capacity(opts.ranks);
-    for r in 0..opts.ranks {
-        let child = Command::new(&exe)
-            .env(ENV_RANK, r.to_string())
-            .env(ENV_RANKS, opts.ranks.to_string())
-            .env(ENV_DIR, &dir)
-            .env(ENV_TRANSPORT, opts.transport.to_string())
-            .env(ENV_APP, &opts.app)
-            .env(ENV_WORKERS, opts.workers.to_string())
-            .env(ENV_NT, opts.nt.to_string())
-            .env(ENV_NB, opts.nb.to_string())
-            .spawn();
-        match child {
-            Ok(c) => children.push(c),
-            Err(e) => {
-                eprintln!("ttg-launch: spawn of rank {r} failed: {e}");
-                reap(&mut children);
+    let mut faults = opts.faults.clone();
+    let mut outcome = run_job(&opts, &exe, &dir, &faults);
+    if let JobOutcome::RankDied(r) = outcome {
+        if faults.contains("kill=") {
+            // Remote recovery is job-level restart (DESIGN §13): the
+            // in-process fabric restores a rank from its snapshot, but a
+            // dead OS process takes its address space with it, so the
+            // parent reaps the whole job, clears every stale per-rank
+            // result, and re-runs once with the kill script stripped.
+            let mut removed = 0usize;
+            for t in 0..opts.ranks {
+                let f = dir.join(format!("result-rank{t}.bin"));
+                if f.exists() {
+                    let _ = std::fs::remove_file(&f);
+                    removed += 1;
+                }
+            }
+            // The rendezvous dir also holds attempt-1 socket/addr files
+            // whose peers are dead; start attempt 2 from an empty dir.
+            let _ = std::fs::remove_dir_all(&dir);
+            if let Err(e) = std::fs::create_dir(&dir) {
+                eprintln!("ttg-launch: cannot recreate rendezvous directory: {e}");
                 std::process::exit(1);
             }
+            faults = strip_kills(&faults);
+            println!(
+                "ttg-launch: rank {r} died; recovering the job — reaped all children, \
+                 removed {removed} stale result files, relaunching without kill scripts"
+            );
+            outcome = run_job(&opts, &exe, &dir, &faults);
         }
     }
-
-    // Watchdog: a hung rank (lost handshake, deadlocked termination) must
-    // fail the launch, not wedge it.
-    let deadline = Instant::now() + opts.timeout;
-    let mut failed = false;
-    let mut pending: Vec<(usize, Child)> = children.drain(..).enumerate().collect();
-    while !pending.is_empty() {
-        if Instant::now() > deadline {
-            eprintln!(
-                "ttg-launch: watchdog expired after {:?}; killing {} remaining ranks",
-                opts.timeout,
-                pending.len()
-            );
-            let mut rest: Vec<Child> = pending.into_iter().map(|(_, c)| c).collect();
-            reap(&mut rest);
+    match outcome {
+        JobOutcome::AllExited => {}
+        JobOutcome::RankDied(_) | JobOutcome::WatchdogExpired => {
+            eprintln!("ttg-launch: at least one rank failed; skipping verification");
+            let _ = std::fs::remove_dir_all(&dir);
             std::process::exit(1);
         }
-        pending.retain_mut(|(r, c)| match c.try_wait() {
-            Ok(Some(status)) => {
-                if !status.success() {
-                    eprintln!("ttg-launch: rank {r} exited with {status}");
-                    failed = true;
-                }
-                false
-            }
-            Ok(None) => true,
-            Err(e) => {
-                eprintln!("ttg-launch: waiting on rank {r} failed: {e}");
-                failed = true;
-                false
-            }
-        });
-        std::thread::sleep(Duration::from_millis(20));
-    }
-    if failed {
-        eprintln!("ttg-launch: at least one rank failed; skipping verification");
-        std::process::exit(1);
     }
 
     let ok = match opts.app.as_str() {
@@ -220,6 +253,87 @@ fn parent_main() {
         "ttg-launch: {} across {} processes over {} matches the single-process run",
         opts.app, opts.ranks, opts.transport
     );
+}
+
+enum JobOutcome {
+    /// Every rank exited cleanly.
+    AllExited,
+    /// This rank exited abnormally (scripted kill, crash); the rest of
+    /// the job was killed and reaped — no zombies survive this variant.
+    RankDied(usize),
+    /// The watchdog expired; the remaining ranks were killed and reaped.
+    WatchdogExpired,
+}
+
+/// Spawn one child per rank and babysit them until they all exit, a rank
+/// dies, or the watchdog fires. On any non-clean outcome every remaining
+/// child is killed and waited on before returning.
+fn run_job(opts: &Opts, exe: &Path, dir: &Path, faults: &str) -> JobOutcome {
+    let mut children: Vec<Child> = Vec::with_capacity(opts.ranks);
+    for r in 0..opts.ranks {
+        let mut cmd = Command::new(exe);
+        cmd.env(ENV_RANK, r.to_string())
+            .env(ENV_RANKS, opts.ranks.to_string())
+            .env(ENV_DIR, dir)
+            .env(ENV_TRANSPORT, opts.transport.to_string())
+            .env(ENV_APP, &opts.app)
+            .env(ENV_WORKERS, opts.workers.to_string())
+            .env(ENV_NT, opts.nt.to_string())
+            .env(ENV_NB, opts.nb.to_string());
+        if !faults.is_empty() {
+            cmd.env(ENV_FAULTS, faults);
+        }
+        match cmd.spawn() {
+            Ok(c) => children.push(c),
+            Err(e) => {
+                eprintln!("ttg-launch: spawn of rank {r} failed: {e}");
+                reap(&mut children);
+                return JobOutcome::RankDied(r);
+            }
+        }
+    }
+
+    // Watchdog: a hung rank (lost handshake, deadlocked termination) must
+    // fail the launch, not wedge it.
+    let deadline = Instant::now() + opts.timeout;
+    let mut pending: Vec<(usize, Child)> = children.drain(..).enumerate().collect();
+    while !pending.is_empty() {
+        if Instant::now() > deadline {
+            eprintln!(
+                "ttg-launch: watchdog expired after {:?}; killing {} remaining ranks",
+                opts.timeout,
+                pending.len()
+            );
+            let mut rest: Vec<Child> = pending.into_iter().map(|(_, c)| c).collect();
+            reap(&mut rest);
+            return JobOutcome::WatchdogExpired;
+        }
+        let mut died: Option<usize> = None;
+        pending.retain_mut(|(r, c)| match c.try_wait() {
+            Ok(Some(status)) => {
+                if !status.success() {
+                    eprintln!("ttg-launch: rank {r} exited with {status}");
+                    died.get_or_insert(*r);
+                }
+                false
+            }
+            Ok(None) => true,
+            Err(e) => {
+                eprintln!("ttg-launch: waiting on rank {r} failed: {e}");
+                died.get_or_insert(*r);
+                false
+            }
+        });
+        if let Some(r) = died {
+            // A dead rank can never reach quiescence, so don't make its
+            // peers grind through retry budgets: take the job down now.
+            let mut rest: Vec<Child> = pending.into_iter().map(|(_, c)| c).collect();
+            reap(&mut rest);
+            return JobOutcome::RankDied(r);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    JobOutcome::AllExited
 }
 
 fn reap(children: &mut [Child]) {
@@ -248,7 +362,8 @@ fn rendezvous_dir() -> std::io::Result<PathBuf> {
 /// multi-process factor must match the in-process one bit for bit.
 fn verify_cholesky(dir: &Path, opts: &Opts) -> bool {
     let a = TiledMatrix::random_spd(opts.nt, opts.nb, INPUT_SEED);
-    let (l_ref, _) = ttg_apps::cholesky::ttg::run(&a, &cholesky_cfg(opts, TransportSpec::InProc));
+    let (l_ref, _) =
+        ttg_apps::cholesky::ttg::run(&a, &cholesky_cfg(opts, TransportSpec::InProc, None));
 
     let mut seen = 0usize;
     for r in 0..opts.ranks {
@@ -293,7 +408,7 @@ fn verify_cholesky(dir: &Path, opts: &Opts) -> bool {
 fn verify_bspmm(dir: &Path, opts: &Opts) -> bool {
     let y = generate(&bspmm_params());
     let a = &y.matrix;
-    let (c_ref, _) = ttg_apps::bspmm::ttg::run(a, a, &bspmm_cfg(opts, TransportSpec::InProc));
+    let (c_ref, _) = ttg_apps::bspmm::ttg::run(a, a, &bspmm_cfg(opts, TransportSpec::InProc, None));
     let reference: HashMap<(usize, usize), &Tile> = c_ref.iter().map(|(&k, t)| (k, t)).collect();
 
     let mut seen = 0usize;
@@ -363,8 +478,15 @@ fn child_main() {
         nt: parse_num(&child_env(ENV_NT)),
         nb: parse_num(&child_env(ENV_NB)),
         timeout: Duration::ZERO,
+        faults: String::new(),
     };
     let dir = PathBuf::from(child_env(ENV_DIR));
+    let faults = std::env::var(ENV_FAULTS).ok().map(|spec| {
+        FaultPlan::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("ttg-launch child rank {me}: {e}");
+            std::process::exit(2);
+        })
+    });
 
     let handle = RemoteHandle::connect(opts.transport, me, opts.ranks, &dir).unwrap_or_else(|e| {
         eprintln!("ttg-launch child rank {me}: transport bring-up failed: {e}");
@@ -375,7 +497,7 @@ fn child_main() {
     let (records, report) = match opts.app.as_str() {
         "cholesky" => {
             let a = TiledMatrix::random_spd(opts.nt, opts.nb, INPUT_SEED);
-            let (l, report) = ttg_apps::cholesky::ttg::run(&a, &cholesky_cfg(&opts, spec));
+            let (l, report) = ttg_apps::cholesky::ttg::run(&a, &cholesky_cfg(&opts, spec, faults));
             // Keep the lower-triangle tiles this rank owns; the rest of the
             // local output matrix stayed zero (their RESULT ran elsewhere).
             let dist = Dist2D::for_ranks(opts.ranks);
@@ -392,7 +514,7 @@ fn child_main() {
         _ => {
             let y = generate(&bspmm_params());
             let a = &y.matrix;
-            let (c, report) = ttg_apps::bspmm::ttg::run(a, a, &bspmm_cfg(&opts, spec));
+            let (c, report) = ttg_apps::bspmm::ttg::run(a, a, &bspmm_cfg(&opts, spec, faults));
             // In remote mode the product holds exactly the tiles this rank
             // accumulated.
             let recs = c.iter().map(|(&(i, j), t)| record(i, j, t)).collect();
@@ -426,19 +548,27 @@ fn child_main() {
     );
 }
 
-fn cholesky_cfg(opts: &Opts, transport: TransportSpec) -> ttg_apps::cholesky::ttg::Config {
+fn cholesky_cfg(
+    opts: &Opts,
+    transport: TransportSpec,
+    faults: Option<FaultPlan>,
+) -> ttg_apps::cholesky::ttg::Config {
     ttg_apps::cholesky::ttg::Config {
         ranks: opts.ranks,
         workers: opts.workers,
         backend: ttg_parsec::backend(),
         trace: false,
         priorities: true,
-        faults: None,
+        faults,
         transport,
     }
 }
 
-fn bspmm_cfg(opts: &Opts, transport: TransportSpec) -> ttg_apps::bspmm::ttg::Config {
+fn bspmm_cfg(
+    opts: &Opts,
+    transport: TransportSpec,
+    faults: Option<FaultPlan>,
+) -> ttg_apps::bspmm::ttg::Config {
     ttg_apps::bspmm::ttg::Config {
         ranks: opts.ranks,
         workers: opts.workers,
@@ -447,7 +577,7 @@ fn bspmm_cfg(opts: &Opts, transport: TransportSpec) -> ttg_apps::bspmm::ttg::Con
         // Zero drop tolerance: every planned product tile is kept, so the
         // multi-process union must equal the reference key set exactly.
         drop_tol: 0.0,
-        faults: None,
+        faults,
         transport,
     }
 }

@@ -9,6 +9,7 @@ pub mod batch;
 pub mod dedup;
 pub mod handshake;
 pub mod matching;
+pub mod recover;
 pub mod wake;
 
 use crate::explore::{Config, Stats, Violation};
@@ -54,6 +55,14 @@ pub fn corpus() -> Vec<CorpusEntry> {
                         across retransmit, poison, and window-slide races",
             run: |cfg| dedup::check(cfg, dedup::Mutation::None),
             default_bound: 2,
+        },
+        CorpusEntry {
+            name: "recover_ledger",
+            invariant: "checkpoint/restore ledger: snapshot racing an in-flight ack and \
+                        a live delivery keeps exactly-once delivery and a balanced \
+                        in-flight counter",
+            run: |cfg| recover::check(cfg, recover::Mutation::None),
+            default_bound: 3,
         },
         CorpusEntry {
             name: "handshake_reader",

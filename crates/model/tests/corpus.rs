@@ -3,7 +3,7 @@
 //! caught deterministically. The printed per-model schedule counts are the
 //! coverage evidence CI archives.
 
-use ttg_model::protocols::{batch, corpus, dedup, handshake, matching, wake};
+use ttg_model::protocols::{batch, corpus, dedup, handshake, matching, recover, wake};
 use ttg_model::{Config, Sample, ViolationKind};
 
 #[test]
@@ -90,6 +90,22 @@ fn dedup_poison_ignoring_window_double_accounts() {
         .expect_err("mutation must be caught");
     assert_eq!(v.kind, ViolationKind::Assert, "got: {v}");
     assert!(v.message.contains("double-accounted"), "got: {v}");
+}
+
+#[test]
+fn recover_missing_prepay_double_debits_the_ledger() {
+    let v = recover::check(Config::bounded(3), recover::Mutation::NoPrepay)
+        .expect_err("mutation must be caught");
+    assert_eq!(v.kind, ViolationKind::Assert, "got: {v}");
+    assert!(v.message.contains("ledger imbalance"), "got: {v}");
+}
+
+#[test]
+fn recover_scan_retiring_delivered_entries_double_debits() {
+    let v = recover::check(Config::bounded(3), recover::Mutation::ScanRetiresDelivered)
+        .expect_err("mutation must be caught");
+    assert_eq!(v.kind, ViolationKind::Assert, "got: {v}");
+    assert!(v.message.contains("ledger imbalance"), "got: {v}");
 }
 
 #[test]

@@ -535,6 +535,16 @@ impl WorkerPool {
         self.shared.metrics.executed.get()
     }
 
+    /// Whether every accepted job has run to completion: no job queued, no
+    /// job mid-execution. `executed` is read *before* `submitted` so a
+    /// concurrent submit can only make an idle pool look busy, never the
+    /// reverse — the recovery drive loop relies on that one-sided error.
+    pub fn is_idle(&self) -> bool {
+        let executed = self.shared.metrics.executed.get();
+        let submitted = self.shared.metrics.submitted.get();
+        executed == submitted
+    }
+
     /// Successful steals from peer deques (work-stealing pools only).
     pub fn steals(&self) -> u64 {
         self.shared.metrics.steals.get()

@@ -199,6 +199,94 @@ fn killed_rank_reports_comm_error_within_deadline() {
 }
 
 #[test]
+fn killed_rank_recovers_and_completes_bit_identical() {
+    // The tentpole: the same scripted death as above, but with
+    // checkpoint/restore enabled. The run must now *complete* — rank 1 is
+    // killed after 200 accepted packets, restored from its last periodic
+    // snapshot, re-driven by replaying logged sends — and the factor must
+    // be bit-identical to the fault-free run, with zero comm errors.
+    let a = TiledMatrix::random_spd(20, 8, 2024);
+    let clean_cfg = cholesky::ttg::Config {
+        ranks: 4,
+        workers: 2,
+        backend: ttg::parsec::backend(),
+        trace: false,
+        priorities: true,
+        faults: None,
+        transport: TransportSpec::InProc,
+    };
+    let (l_clean, _) = cholesky::ttg::run(&a, &clean_cfg);
+
+    let plan = FaultPlan::seeded(7).with_kill(1, 200).with_recovery(64);
+    let cfg = cholesky::ttg::Config {
+        faults: Some(plan),
+        ..clean_cfg.clone()
+    };
+    let (l, r) = cholesky::ttg::run(&a, &cfg);
+    assert_eq!(
+        l.max_abs_diff(&l_clean),
+        0.0,
+        "recovered run changed the factor"
+    );
+    assert!(r.comm_errors.is_empty(), "{:?}", r.comm_errors);
+    assert!(r.stuck.is_empty(), "{:?}", r.stuck);
+    assert!(r.comm.snapshots_taken > 0, "no snapshot was ever taken");
+    assert!(r.comm.snapshot_bytes > 0);
+    assert!(r.comm.restores > 0, "the killed rank was never restored");
+    assert!(r.comm.recoveries > 0, "no recovery completed");
+    assert!(r.comm.replayed_sends > 0, "nothing was replayed");
+    assert!(
+        r.recovery_events
+            .iter()
+            .any(|e| e.kind == CommErrorKind::RankRecovered && e.to == Some(1)),
+        "expected a TTG046 RankRecovered event for rank 1, got {:?}",
+        r.recovery_events
+    );
+}
+
+#[test]
+fn rank_killed_before_first_snapshot_restores_to_empty_and_replays() {
+    // Pure message-logging recovery: the snapshot interval is set beyond
+    // the run's packet count, so the kill lands before any checkpoint
+    // exists. Restore-to-empty plus full replay of the logged sends must
+    // still complete the run bit-identically.
+    let a = TiledMatrix::random_spd(6, 8, 515);
+    let clean_cfg = cholesky::ttg::Config {
+        ranks: 4,
+        workers: 2,
+        backend: ttg::parsec::backend(),
+        trace: false,
+        priorities: true,
+        faults: None,
+        transport: TransportSpec::InProc,
+    };
+    let (l_clean, _) = cholesky::ttg::run(&a, &clean_cfg);
+
+    let plan = FaultPlan::seeded(3).with_kill(1, 5).with_recovery(1_000_000);
+    let cfg = cholesky::ttg::Config {
+        faults: Some(plan),
+        ..clean_cfg.clone()
+    };
+    let (l, r) = cholesky::ttg::run(&a, &cfg);
+    eprintln!("DBG errors={:?}", r.comm_errors);
+    eprintln!("DBG stuck={} restores={} replayed={} replay_dedup={} dedup={} events={:?}",
+        r.stuck.len(), r.comm.restores, r.comm.replayed_sends, r.comm.replay_dedup_hits,
+        r.comm.am_dedup_hits, r.recovery_events);
+    eprintln!("DBG per_node={:?}", r.per_node);
+    eprintln!("DBG stuck_detail={:?}", r.stuck);
+    assert_eq!(
+        l.max_abs_diff(&l_clean),
+        0.0,
+        "replay-only recovery changed the factor"
+    );
+    assert!(r.comm_errors.is_empty(), "{:?}", r.comm_errors);
+    assert_eq!(r.comm.snapshots_taken, 0, "interval should never be reached");
+    assert!(r.comm.restores > 0);
+    assert!(r.comm.replayed_sends > 0);
+    assert!(r.comm.recoveries > 0);
+}
+
+#[test]
 fn ack_batching_is_bit_identical_under_chaos() {
     // The batched/piggybacked ack path (the default) and the legacy
     // one-ack-per-message path must both restore exactly-once delivery
